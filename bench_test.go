@@ -1,0 +1,277 @@
+package videodrift
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (driving the runners in internal/experiments at a reduced
+// scale — `go run ./cmd/driftbench` regenerates the committed full-scale
+// numbers in EXPERIMENTS.md), plus micro-benchmarks for the hot paths
+// behind the per-frame cost tables.
+
+import (
+	"testing"
+
+	"videodrift/internal/classifier"
+	"videodrift/internal/conformal"
+	"videodrift/internal/core"
+	"videodrift/internal/dataset"
+	"videodrift/internal/detect"
+	"videodrift/internal/experiments"
+	"videodrift/internal/odin"
+	"videodrift/internal/query"
+	"videodrift/internal/stats"
+	"videodrift/internal/vidsim"
+	"videodrift/internal/vision"
+)
+
+func benchConfig() experiments.Config { return experiments.QuickConfig() }
+
+// BenchmarkTable5DatasetStats regenerates Table 5 (dataset characteristics).
+func BenchmarkTable5DatasetStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunTable5(benchConfig())
+	}
+}
+
+// BenchmarkFig3DriftDetectionLag regenerates Figure 3 / Table 6 (drift
+// detection lag and monitoring time, DI vs ODIN-Detect) per dataset.
+func BenchmarkFig3DriftDetectionLag(b *testing.B) {
+	cfg := benchConfig()
+	for _, ds := range dataset.All(cfg.Scale) {
+		b.Run(ds.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiments.RunFig3(ds, cfg)
+			}
+		})
+	}
+}
+
+// BenchmarkTable6DriftDetectionTime isolates the Table 6 monitoring-time
+// comparison on the Detrac analog.
+func BenchmarkTable6DriftDetectionTime(b *testing.B) {
+	cfg := benchConfig()
+	ds := dataset.Detrac(cfg.Scale)
+	env := experiments.BuildEnvUnsupervised(ds, cfg)
+	frames := ds.TransitionStream(1, 300, 300).Collect(-1)
+	b.Run("DI", func(b *testing.B) {
+		di := core.NewDriftInspector(env.Registry.Entries()[0], core.DefaultDIConfig(), stats.NewRNG(1))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			di.ObserveFrame(frames[i%len(frames)])
+		}
+	})
+	b.Run("ODIN-Detect", func(b *testing.B) {
+		od := odin.NewDetector(odin.DefaultConfig(), ds.W, ds.H)
+		od.Bootstrap(ds.TrainingFrames(0, cfg.TrainFrames))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			od.Observe(frames[i%len(frames)])
+		}
+	})
+}
+
+// BenchmarkFig4SlowDrift regenerates Figure 4 (slow-drift detection).
+func BenchmarkFig4SlowDrift(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Scale = 0.05
+	for i := 0; i < b.N; i++ {
+		experiments.RunFig4(cfg)
+	}
+}
+
+// BenchmarkFig5BrierVsAccuracy regenerates Figure 5 (accuracy vs Brier
+// separation on BDD).
+func BenchmarkFig5BrierVsAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunFig5(benchConfig())
+	}
+}
+
+// BenchmarkFig6ModelInvocations regenerates Figure 6 (model invocations
+// per frame) on the Tokyo analog.
+func BenchmarkFig6ModelInvocations(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		experiments.RunFig6(dataset.Tokyo(cfg.Scale), cfg)
+	}
+}
+
+// BenchmarkTable7PerFrameSelection measures the per-frame cost of the
+// three selection mechanisms (Table 7).
+func BenchmarkTable7PerFrameSelection(b *testing.B) {
+	cfg := benchConfig()
+	ds := dataset.BDD(cfg.Scale)
+	env := experiments.BuildEnv(ds, cfg, query.Count)
+	window := ds.TransitionStream(1, 5, 64).Collect(-1)[5:]
+	labeler := env.Labeler()
+	th := core.CalibrateMSBO(env.Registry.Entries())
+	rng := stats.NewRNG(3)
+
+	b.Run("MSBO", func(b *testing.B) {
+		msboCfg := core.DefaultMSBOConfig()
+		for i := 0; i < b.N; i++ {
+			// Labeling the window is part of MSBO's cost (the paper's
+			// Table 7 numbers include Mask R-CNN annotation).
+			samplesWin := makeLabeledWindow(env, window[:msboCfg.WT], labeler)
+			core.MSBO(samplesWin, env.Registry.Entries(), th, msboCfg)
+		}
+	})
+	b.Run("MSBI", func(b *testing.B) {
+		msbiCfg := core.DefaultMSBIConfig()
+		for i := 0; i < b.N; i++ {
+			core.MSBI(window, env.Registry.Entries(), msbiCfg, rng.Split())
+		}
+	})
+	b.Run("ODIN-Select", func(b *testing.B) {
+		sys := env.NewODIN()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sys.Process(window[i%len(window)])
+		}
+	})
+}
+
+// BenchmarkTable8SelectionTime regenerates the full Table 7/8 measurement.
+func BenchmarkTable8SelectionTime(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		experiments.RunTable8(dataset.BDD(cfg.Scale), cfg)
+	}
+}
+
+// BenchmarkTable9EndToEnd regenerates Table 9 / Figure 7 on the BDD analog.
+func BenchmarkTable9EndToEnd(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		experiments.RunEndToEnd(dataset.BDD(cfg.Scale), cfg, query.Count)
+	}
+}
+
+// BenchmarkFig7CountAccuracy regenerates the count-query accuracy series
+// (Figure 7) on the Detrac analog.
+func BenchmarkFig7CountAccuracy(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		experiments.RunEndToEnd(dataset.Detrac(cfg.Scale), cfg, query.Count)
+	}
+}
+
+// BenchmarkFig8SpatialAccuracy regenerates the spatial-query accuracy
+// series (Figure 8) on the BDD analog.
+func BenchmarkFig8SpatialAccuracy(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		experiments.RunEndToEnd(dataset.BDD(cfg.Scale), cfg, query.Spatial)
+	}
+}
+
+// --- Micro-benchmarks for the hot paths ---
+
+func benchFrame() vidsim.Frame {
+	g := vidsim.NewSceneGenerator(vidsim.Day(), 32, 32, stats.NewRNG(9))
+	return g.Next()
+}
+
+// BenchmarkFeaturize measures the drift-feature extraction per frame.
+func BenchmarkFeaturize(b *testing.B) {
+	f := benchFrame()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		vision.Featurize(f.Pixels, f.W, f.H)
+	}
+}
+
+// BenchmarkQueryFeatures measures the classifier front-end per frame.
+func BenchmarkQueryFeatures(b *testing.B) {
+	f := benchFrame()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		vision.QueryFeatures(f.Pixels, f.W, f.H)
+	}
+}
+
+// BenchmarkDriftInspectorObserve measures Algorithm 1 per sampled frame.
+func BenchmarkDriftInspectorObserve(b *testing.B) {
+	frames := vidsim.GenerateTraining(vidsim.Day(), 32, 32, 300, 10)
+	p := core.DefaultProvisionConfig(1024, 2)
+	entry := core.Provision("day", frames, nil, p)
+	cfg := core.DefaultDIConfig()
+	cfg.SampleEvery = 1 // measure the full update, not the skip path
+	di := core.NewDriftInspector(entry, cfg, stats.NewRNG(11))
+	f := benchFrame()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		di.Observe(f.Pixels)
+	}
+}
+
+// BenchmarkMartingaleUpdate measures the CUSUM update alone.
+func BenchmarkMartingaleUpdate(b *testing.B) {
+	c := conformal.NewCUSUM(conformal.ShiftedOdd(4), 2, 4)
+	rng := stats.NewRNG(12)
+	ps := rng.UniformVec(1024, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Update(ps[i%len(ps)])
+	}
+}
+
+// BenchmarkDetectorsPerFrame measures the two detector baselines (the
+// Table 9 per-frame costs).
+func BenchmarkDetectorsPerFrame(b *testing.B) {
+	f := benchFrame()
+	b.Run("maskrcnn-sim", func(b *testing.B) {
+		det := detect.NewMaskRCNNSim()
+		for i := 0; i < b.N; i++ {
+			det.Detect(f)
+		}
+	})
+	b.Run("yolo-sim", func(b *testing.B) {
+		det := detect.NewYOLOSim()
+		for i := 0; i < b.N; i++ {
+			det.Detect(f)
+		}
+	})
+}
+
+// BenchmarkAblationSampleSource compares the two Σ sources (held-out real
+// frames vs VAE-decoded samples) on one DI update — the DESIGN.md §2
+// substitution ablation.
+func BenchmarkAblationSampleSource(b *testing.B) {
+	frames := vidsim.GenerateTraining(vidsim.Day(), 32, 32, 200, 13)
+	f := benchFrame()
+	for _, src := range []struct {
+		name string
+		s    core.SampleSource
+	}{{"heldout", core.SourceHeldOut}, {"vae", core.SourceVAE}} {
+		b.Run(src.name, func(b *testing.B) {
+			p := core.DefaultProvisionConfig(1024, 2)
+			p.Source = src.s
+			p.VAEEpochs = 2
+			entry := core.Provision("day", frames, nil, p)
+			cfg := core.DefaultDIConfig()
+			cfg.SampleEvery = 1
+			di := core.NewDriftInspector(entry, cfg, stats.NewRNG(14))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				di.Observe(f.Pixels)
+			}
+		})
+	}
+}
+
+// makeLabeledWindow mirrors the pipeline's MSBO window construction.
+func makeLabeledWindow(env *experiments.Env, frames []vidsim.Frame, labeler core.Labeler) []classifier.Sample {
+	out := make([]classifier.Sample, len(frames))
+	e := env.Registry.Entries()[0]
+	for i, f := range frames {
+		out[i] = e.QuerySample(f, labeler(f))
+	}
+	return out
+}
+
+// BenchmarkAblationDetectors regenerates the drift-detector design-choice
+// ablation (DESIGN.md §2).
+func BenchmarkAblationDetectors(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunAblation(benchConfig())
+	}
+}

@@ -1,0 +1,91 @@
+// Command driftbench regenerates every table and figure of the paper's
+// evaluation (§6) on the synthetic dataset analogs and prints them in the
+// paper's layout. The committed EXPERIMENTS.md was produced by this tool.
+//
+// Usage:
+//
+//	driftbench [-scale 0.05] [-train 300] [-exp all|table5|fig3|fig4|fig5|fig6|table8|table9|fig7|fig8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"videodrift/internal/dataset"
+	"videodrift/internal/experiments"
+	"videodrift/internal/query"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.05, "dataset stream scale (1.0 = paper sizes)")
+	train := flag.Int("train", 300, "training frames per provisioned condition")
+	exp := flag.String("exp", "all", "experiment id (all, table5, fig3, fig4, fig5, fig6, table8, table9, fig7, fig8, ablation)")
+	seed := flag.Int64("seed", 99, "experiment seed")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.TrainFrames = *train
+	cfg.Seed = *seed
+
+	run := func(id string) bool { return *exp == "all" || *exp == id }
+	start := time.Now()
+
+	if run("table5") {
+		section("table5")
+		fmt.Print(experiments.RunTable5(cfg).Render())
+	}
+	if run("fig3") {
+		section("fig3 + table6")
+		for _, ds := range dataset.All(cfg.Scale) {
+			fmt.Print(experiments.RunFig3(ds, cfg).Render())
+			fmt.Println()
+		}
+	}
+	if run("fig4") {
+		section("fig4")
+		fmt.Print(experiments.RunFig4(cfg).Render())
+	}
+	if run("fig5") {
+		section("fig5")
+		fmt.Print(experiments.RunFig5(cfg).Render())
+	}
+	if run("fig6") {
+		section("fig6")
+		for _, ds := range dataset.All(cfg.Scale) {
+			fmt.Print(experiments.RunFig6(ds, cfg).Render())
+			fmt.Println()
+		}
+	}
+	if run("table8") {
+		section("table7 + table8")
+		for _, ds := range dataset.All(cfg.Scale) {
+			fmt.Print(experiments.RunTable8(ds, cfg).Render())
+			fmt.Println()
+		}
+	}
+	if run("table9") || run("fig7") {
+		section("table9 + fig7")
+		for _, ds := range dataset.All(cfg.Scale) {
+			fmt.Print(experiments.RunEndToEnd(ds, cfg, query.Count).Render())
+			fmt.Println()
+		}
+	}
+	if run("fig8") {
+		section("fig8")
+		fmt.Print(experiments.RunEndToEnd(dataset.BDD(cfg.Scale), cfg, query.Spatial).Render())
+	}
+	if run("ablation") {
+		section("ablation")
+		fmt.Print(experiments.RunAblation(cfg).Render())
+	}
+
+	fmt.Fprintf(os.Stderr, "\ntotal wall time: %v (scale %v)\n", time.Since(start).Round(time.Millisecond), *scale)
+}
+
+func section(name string) {
+	fmt.Printf("%s\n== %s ==\n", strings.Repeat("-", 72), name)
+}

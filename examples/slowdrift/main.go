@@ -1,0 +1,60 @@
+// Slow drift: the §6.1.3 live-camera setting. A standalone Drift
+// Inspector watches a fixed camera while daylight fades gradually into
+// night over hundreds of frames — no abrupt cut to key on — and the
+// example reports how far into the transition the drift is declared.
+//
+//	go run ./examples/slowdrift
+package main
+
+import (
+	"fmt"
+
+	"videodrift"
+	"videodrift/internal/vidsim"
+)
+
+func main() {
+	const (
+		w, h       = 32, 32
+		transition = 600 // frames over which day fades to night
+	)
+
+	// Provision the day model from footage "captured on a previous day".
+	// No labeler: pure drift detection needs no annotations.
+	fmt.Println("training the day model...")
+	opts := videodrift.Defaults(w*h, 2)
+	day := videodrift.BuildModel("day",
+		vidsim.GenerateTraining(vidsim.Day(), w, h, 300, 1), nil, opts)
+	det := videodrift.NewDetector(day, 7)
+
+	// The live stream: stable daylight, then a long linear fade to night.
+	stream := vidsim.NewStream(w, h, 9,
+		vidsim.Segment{Cond: vidsim.Day(), Length: 500},
+		vidsim.Segment{Cond: vidsim.Night(), Length: transition + 300, TransitionLen: transition},
+	)
+	sundown := stream.DriftPoints()[0]
+	fmt.Printf("streaming %d frames; sundown starts at frame %d and lasts %d frames\n",
+		stream.TotalLength(), sundown, transition)
+
+	i := 0
+	for {
+		f, ok := stream.Next()
+		if !ok {
+			break
+		}
+		if det.Observe(f) {
+			if i < sundown {
+				fmt.Printf("frame %5d: false alarm before sundown\n", i)
+				det.Reset()
+				i++
+				continue
+			}
+			pct := 100 * float64(i-sundown) / float64(transition)
+			fmt.Printf("frame %5d: drift declared — %d frames after sundown began (%.0f%% through the fade)\n",
+				i, i-sundown+1, pct)
+			return
+		}
+		i++
+	}
+	fmt.Println("stream ended without a drift declaration")
+}

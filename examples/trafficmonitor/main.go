@@ -1,0 +1,72 @@
+// Traffic monitor: the paper's headline scenario — a fixed traffic camera
+// whose angle changes over time (the Detrac analog). Models are
+// provisioned per camera angle with labels from the detector-based
+// annotation oracle (the Mask R-CNN stand-in), a count query runs on
+// every frame, and the monitor swaps models whenever the angle changes.
+//
+//	go run ./examples/trafficmonitor
+package main
+
+import (
+	"fmt"
+
+	"videodrift"
+)
+
+func main() {
+	const scale = 0.02 // 600 frames per camera angle
+	ds := videodrift.Detrac(scale)
+	ann := videodrift.NewAnnotator(30)
+	labeler := ann.Labeler(videodrift.CountQuery)
+
+	opts := videodrift.Defaults(ds.FrameDim(), ann.NumClasses(videodrift.CountQuery))
+	// MSBI (input-based selection) is fully unsupervised and, on these
+	// camera-angle switches, the more reliable selector (EXPERIMENTS.md).
+	opts.Pipeline.Selector = videodrift.MSBI
+	fmt.Printf("provisioning %d per-angle models (annotating with %s)...\n",
+		len(ds.Sequences), ann.DetectorName())
+	models := make([]*videodrift.Model, len(ds.Sequences))
+	for i := range ds.Sequences {
+		models[i] = videodrift.BuildModel(ds.Sequences[i].Name,
+			ds.TrainingFrames(i, 300), labeler, opts)
+	}
+
+	mon := videodrift.NewMonitor(models, labeler, opts)
+	stream := ds.Stream()
+	fmt.Printf("streaming %d frames with %d camera-angle changes...\n\n",
+		stream.TotalLength(), ds.NumDrifts())
+
+	// Score the count query on a sample of frames per sequence.
+	correct := map[string]int{}
+	scored := map[string]int{}
+	i := 0
+	for {
+		f, ok := stream.Next()
+		if !ok {
+			break
+		}
+		ev := mon.Process(f)
+		if ev.SwitchedTo != "" {
+			fmt.Printf("frame %5d [%s]: deployed %q (trained new: %v)\n",
+				i, f.Condition, ev.SwitchedTo, ev.TrainedNew)
+		}
+		if i%8 == 0 {
+			if ev.Prediction == labeler(f) {
+				correct[f.Condition]++
+			}
+			scored[f.Condition]++
+		}
+		i++
+	}
+
+	fmt.Println("\ncount-query accuracy per camera angle (sampled):")
+	for _, c := range ds.Sequences {
+		if scored[c.Name] > 0 {
+			fmt.Printf("  %-8s %.3f  (%d frames)\n", c.Name,
+				float64(correct[c.Name])/float64(scored[c.Name]), scored[c.Name])
+		}
+	}
+	st := mon.Stats()
+	fmt.Printf("\ndrifts: %d   selections: %d   trained: %d   models: %v\n",
+		st.DriftsDetected, st.ModelsSelected, st.ModelsTrained, mon.Models())
+}

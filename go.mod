@@ -1,0 +1,3 @@
+module videodrift
+
+go 1.22

@@ -1,0 +1,199 @@
+package conformal
+
+import (
+	"fmt"
+	"math"
+)
+
+// BettingFunc is a betting function over p-values (§4.1–4.2.4). Additive
+// martingales use zero-integral functions (∫₀¹ g = 0); multiplicative
+// martingales use density-like functions (∫₀¹ g = 1).
+type BettingFunc func(p float64) float64
+
+// ShiftedOdd returns the paper's zero-integral betting function family
+// g(p) = κ·(1/2 − p) (an odd function shifted to [0,1], §4.2.4 with
+// f(p) = −κp). It is bounded by κ/2 in absolute value, returns its maximum
+// for the strangest observations (p → 0), and integrates to zero, which
+// makes the additive process of Eq. 10 a martingale under exchangeability.
+func ShiftedOdd(kappa float64) BettingFunc {
+	return func(p float64) float64 { return kappa * (0.5 - p) }
+}
+
+// Power returns the classic multiplicative betting function
+// g_ε(p) = ε·p^(ε−1) with 0 < ε < 1, which integrates to one.
+func Power(epsilon float64) BettingFunc {
+	return func(p float64) float64 {
+		p = clampP(p)
+		return epsilon * math.Pow(p, epsilon-1)
+	}
+}
+
+// Mixture returns the simple mixture betting function
+// ∫₀¹ ε·p^(ε−1) dε = (p·ln p − p + 1) / (p·ln²p), the standard
+// parameter-free choice for conformal martingales.
+func Mixture() BettingFunc {
+	return func(p float64) float64 {
+		p = clampP(p)
+		lp := math.Log(p)
+		return (p*lp - p + 1) / (p * lp * lp)
+	}
+}
+
+func clampP(p float64) float64 {
+	const eps = 1e-10
+	if p < eps {
+		return eps
+	}
+	if p > 1-eps {
+		return 1 - eps
+	}
+	return p
+}
+
+// ThresholdMode selects how the windowed drift test derives its threshold
+// from the significance level.
+type ThresholdMode int
+
+const (
+	// ThresholdHoeffding uses the Hoeffding–Azuma bound with the missing
+	// logarithm restored: t = c·sqrt(2W·ln(2/r)) for increments bounded by
+	// c, giving a windowed false-alarm probability of at most r. This is
+	// the statistically correct reading of Eq. 15 and the default.
+	ThresholdHoeffding ThresholdMode = iota
+	// ThresholdPaperLiteral uses the paper's Eq. 15 exactly as printed,
+	// t = sqrt(2W·(2/r)), which drops the logarithm (and the increment
+	// bound). Provided for faithful reproduction of the worked example.
+	ThresholdPaperLiteral
+)
+
+// CUSUM is the additive conformal martingale the Drift Inspector runs
+// (Algorithm 1 line 10): S_n = max(0, S_{n−1} + g(p_n)) with a
+// zero-integral betting function. Under exchangeability the un-floored
+// process is a martingale with bounded increments; the floor at zero turns
+// it into the one-sided CUSUM form whose windowed growth rate Eq. 15
+// tests. The struct keeps a ring buffer of the last W values so the
+// windowed difference S_l − S_{l−W} is O(1) per update.
+type CUSUM struct {
+	bet    BettingFunc
+	bound  float64 // max |g|
+	window int
+
+	value float64
+	count int
+	ring  []float64 // last `window` values, ring[count % window] overwritten next
+}
+
+// NewCUSUM builds an additive martingale with the given betting function,
+// its absolute bound, and the observation window W of Eq. 15.
+func NewCUSUM(bet BettingFunc, bound float64, window int) *CUSUM {
+	if window <= 0 {
+		panic("conformal: NewCUSUM with non-positive window")
+	}
+	if bound <= 0 {
+		panic("conformal: NewCUSUM with non-positive bound")
+	}
+	c := &CUSUM{bet: bet, bound: bound, window: window, ring: make([]float64, window)}
+	return c
+}
+
+// Update folds one p-value into the martingale and returns the new value.
+func (c *CUSUM) Update(p float64) float64 {
+	c.ring[c.count%c.window] = c.value
+	c.count++
+	c.value = math.Max(0, c.value+c.bet(p))
+	return c.value
+}
+
+// Value returns the current martingale value S_l.
+func (c *CUSUM) Value() float64 { return c.value }
+
+// Count returns the number of observations folded in so far.
+func (c *CUSUM) Count() int { return c.count }
+
+// WindowDelta returns |S_l − S_{l−w}| where w = min(l, W) — the windowed
+// rate of change Eq. 15 thresholds (Algorithm 1 lines 12–13).
+func (c *CUSUM) WindowDelta() float64 {
+	if c.count == 0 {
+		return 0
+	}
+	w := c.window
+	if c.count < w {
+		w = c.count
+	}
+	// ring[(count-w) % window] holds S_{l-w} because the last `window`
+	// pre-update values are retained.
+	old := c.ring[(c.count-w)%c.window]
+	return math.Abs(c.value - old)
+}
+
+// Reset clears the martingale to its initial state.
+func (c *CUSUM) Reset() {
+	c.value = 0
+	c.count = 0
+	for i := range c.ring {
+		c.ring[i] = 0
+	}
+}
+
+// DriftTest is the windowed significance test of Eq. 15.
+type DriftTest struct {
+	W    int
+	R    float64 // significance level r
+	Mode ThresholdMode
+}
+
+// Threshold returns the drift-declaration threshold for increments
+// bounded by c in absolute value.
+func (t DriftTest) Threshold(bound float64) float64 {
+	if t.R <= 0 || t.R >= 2 {
+		panic(fmt.Sprintf("conformal: DriftTest with invalid significance %v", t.R))
+	}
+	switch t.Mode {
+	case ThresholdPaperLiteral:
+		return math.Sqrt(2 * float64(t.W) * (2 / t.R))
+	default:
+		return bound * math.Sqrt(2*float64(t.W)*math.Log(2/t.R))
+	}
+}
+
+// Check reports whether the martingale's windowed growth exceeds the
+// threshold — a drift declaration.
+func (t DriftTest) Check(c *CUSUM) bool {
+	return c.WindowDelta() > t.Threshold(c.bound)
+}
+
+// PowerMartingale is the classic multiplicative conformal martingale
+// (Eq. 5) kept in log space, provided as the reference implementation DI
+// improves on (§4.2.3 discusses why the product form reacts slowly).
+type PowerMartingale struct {
+	bet  BettingFunc
+	logM float64
+	max  float64
+}
+
+// NewPowerMartingale builds a multiplicative martingale with a
+// unit-integral betting function (e.g. Power or Mixture).
+func NewPowerMartingale(bet BettingFunc) *PowerMartingale {
+	return &PowerMartingale{bet: bet}
+}
+
+// Update folds one p-value in and returns the current log-martingale.
+func (m *PowerMartingale) Update(p float64) float64 {
+	m.logM += math.Log(math.Max(m.bet(p), 1e-300))
+	if m.logM > m.max {
+		m.max = m.logM
+	}
+	return m.logM
+}
+
+// LogValue returns the current log-martingale value.
+func (m *PowerMartingale) LogValue() float64 { return m.logM }
+
+// Exceeds reports whether the martingale has ever exceeded 1/delta —
+// by Ville's inequality (Eq. 4), rejecting exchangeability at level delta.
+func (m *PowerMartingale) Exceeds(delta float64) bool {
+	return m.max > math.Log(1/delta)
+}
+
+// Reset clears the martingale.
+func (m *PowerMartingale) Reset() { m.logM = 0; m.max = 0 }

@@ -1,0 +1,268 @@
+package conformal
+
+import (
+	"math"
+	"testing"
+
+	"videodrift/internal/stats"
+)
+
+// integrate numerically integrates f over [0,1] with the midpoint rule.
+func integrate(f BettingFunc, steps int) float64 {
+	sum := 0.0
+	h := 1.0 / float64(steps)
+	for i := 0; i < steps; i++ {
+		sum += f((float64(i) + 0.5) * h)
+	}
+	return sum * h
+}
+
+func TestShiftedOddIntegratesToZero(t *testing.T) {
+	for _, kappa := range []float64{1, 2, 4, 6} {
+		if got := integrate(ShiftedOdd(kappa), 10000); math.Abs(got) > 1e-9 {
+			t.Errorf("∫ShiftedOdd(%v) = %v, want 0", kappa, got)
+		}
+	}
+}
+
+func TestPowerIntegratesToOne(t *testing.T) {
+	for _, eps := range []float64{0.3, 0.5, 0.92} {
+		if got := integrate(Power(eps), 2_000_000); math.Abs(got-1) > 0.01 {
+			t.Errorf("∫Power(%v) = %v, want 1", eps, got)
+		}
+	}
+}
+
+func TestMixtureIntegratesToOne(t *testing.T) {
+	// The integrand behaves like 1/(p·ln²p) near zero — integrable but too
+	// slowly converging for quadrature over [0,1]. Its exact antiderivative
+	// is F(p) = (p−1)/ln p with F(0⁺)=0 and F(1⁻)=1, so ∫₀¹ = 1; verify the
+	// implementation against F on an interior interval.
+	F := func(p float64) float64 { return (p - 1) / math.Log(p) }
+	g := Mixture()
+	lo, hi := 0.001, 0.999
+	steps := 1_000_000
+	h := (hi - lo) / float64(steps)
+	sum := 0.0
+	for i := 0; i < steps; i++ {
+		sum += g(lo + (float64(i)+0.5)*h)
+	}
+	numeric := sum * h
+	exact := F(hi) - F(lo)
+	if math.Abs(numeric-exact) > 1e-3 {
+		t.Errorf("∫[%v,%v]Mixture = %v, antiderivative gives %v", lo, hi, numeric, exact)
+	}
+	// F approaches its limits logarithmically slowly: F(p) ≈ −1/ln p near 0.
+	if math.Abs(F(1-1e-9)-1) > 1e-6 || math.Abs(F(1e-300)) > 2e-3 {
+		t.Error("antiderivative limits wrong")
+	}
+}
+
+func TestShiftedOddShape(t *testing.T) {
+	g := ShiftedOdd(4)
+	if g(0) != 2 || g(1) != -2 || g(0.5) != 0 {
+		t.Errorf("ShiftedOdd(4) values: g(0)=%v g(1)=%v g(0.5)=%v", g(0), g(1), g(0.5))
+	}
+	// Strange observations (small p) are rewarded with large values.
+	if g(0.1) <= g(0.9) {
+		t.Error("betting function not decreasing in p")
+	}
+}
+
+func TestCUSUMGrowsUnderDrift(t *testing.T) {
+	c := NewCUSUM(ShiftedOdd(4), 2, 3)
+	for i := 0; i < 5; i++ {
+		c.Update(0) // maximally strange
+	}
+	if got := c.Value(); math.Abs(got-10) > 1e-12 {
+		t.Errorf("value after 5 strange frames = %v, want 10", got)
+	}
+	if got := c.WindowDelta(); math.Abs(got-6) > 1e-12 {
+		t.Errorf("window delta = %v, want 6 (3 increments of 2)", got)
+	}
+}
+
+func TestCUSUMStaysSmallUnderUniform(t *testing.T) {
+	rng := stats.NewRNG(1)
+	c := NewCUSUM(ShiftedOdd(4), 2, 3)
+	test := DriftTest{W: 3, R: 0.5}
+	falseAlarms := 0
+	for i := 0; i < 20000; i++ {
+		c.Update(rng.Float64())
+		if test.Check(c) {
+			falseAlarms++
+		}
+	}
+	// The floored martingale itself wanders like sqrt(n) under the null —
+	// only the windowed rate of change is tested (Eq. 15), and it should
+	// essentially never fire.
+	if falseAlarms > 2 {
+		t.Errorf("false alarms under uniform p-values: %d in 20k frames", falseAlarms)
+	}
+}
+
+func TestCUSUMFloorAtZero(t *testing.T) {
+	c := NewCUSUM(ShiftedOdd(4), 2, 3)
+	for i := 0; i < 10; i++ {
+		c.Update(1) // maximally ordinary: increment −2
+	}
+	if c.Value() != 0 {
+		t.Errorf("floored value = %v", c.Value())
+	}
+}
+
+func TestCUSUMWindowDeltaRing(t *testing.T) {
+	c := NewCUSUM(ShiftedOdd(2), 1, 2)
+	// Increments: g(0)=1 each time. Values: 1, 2, 3, 4.
+	deltas := []float64{1, 2, 2, 2} // window = min(count, 2)
+	for i, want := range deltas {
+		c.Update(0)
+		if got := c.WindowDelta(); math.Abs(got-want) > 1e-12 {
+			t.Errorf("step %d: WindowDelta = %v, want %v", i+1, got, want)
+		}
+	}
+}
+
+func TestCUSUMResetAndValidation(t *testing.T) {
+	c := NewCUSUM(ShiftedOdd(4), 2, 3)
+	c.Update(0)
+	c.Reset()
+	if c.Value() != 0 || c.Count() != 0 || c.WindowDelta() != 0 {
+		t.Error("Reset left state behind")
+	}
+	for i, fn := range []func(){
+		func() { NewCUSUM(ShiftedOdd(2), 1, 0) },
+		func() { NewCUSUM(ShiftedOdd(2), 0, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDriftTestThresholds(t *testing.T) {
+	// Paper-literal Eq. 15 with the worked example's W=2, r=0.5 gives 4.
+	lit := DriftTest{W: 2, R: 0.5, Mode: ThresholdPaperLiteral}
+	if got := lit.Threshold(1); math.Abs(got-4) > 1e-12 {
+		t.Errorf("paper-literal threshold = %v, want 4", got)
+	}
+	// Hoeffding form: c·sqrt(2W·ln(2/r)).
+	hoef := DriftTest{W: 3, R: 0.5, Mode: ThresholdHoeffding}
+	want := 2 * math.Sqrt(2*3*math.Log(4))
+	if got := hoef.Threshold(2); math.Abs(got-want) > 1e-12 {
+		t.Errorf("hoeffding threshold = %v, want %v", got, want)
+	}
+	// Smaller r (stricter) → larger threshold.
+	strict := DriftTest{W: 3, R: 0.1, Mode: ThresholdHoeffding}
+	if strict.Threshold(2) <= hoef.Threshold(2) {
+		t.Error("threshold not monotone in significance")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("invalid significance did not panic")
+			}
+		}()
+		DriftTest{W: 3, R: 0}.Threshold(1)
+	}()
+}
+
+func TestDriftTestDetectsShift(t *testing.T) {
+	rng := stats.NewRNG(2)
+	c := NewCUSUM(ShiftedOdd(4), 2, 3)
+	test := DriftTest{W: 3, R: 0.5}
+	// Null phase.
+	for i := 0; i < 500; i++ {
+		c.Update(rng.Float64())
+		if test.Check(c) {
+			t.Fatalf("false alarm at null frame %d", i)
+		}
+	}
+	// Drift phase: p-values collapse.
+	detectedAt := -1
+	for i := 0; i < 50; i++ {
+		c.Update(0.01 * rng.Float64())
+		if test.Check(c) {
+			detectedAt = i
+			break
+		}
+	}
+	if detectedAt < 0 {
+		t.Fatal("drift never detected")
+	}
+	if detectedAt > 10 {
+		t.Errorf("drift detected after %d frames, want prompt detection", detectedAt)
+	}
+}
+
+func TestPowerMartingaleUnderNullAndDrift(t *testing.T) {
+	rng := stats.NewRNG(3)
+	m := NewPowerMartingale(Mixture())
+	for i := 0; i < 2000; i++ {
+		m.Update(rng.Float64())
+	}
+	if m.Exceeds(0.01) {
+		t.Errorf("power martingale exceeded 100 under the null (log=%v)", m.LogValue())
+	}
+	nullLog := m.LogValue()
+	// The product has decayed far below 1 — the paper's §4.2.3 drawback.
+	if nullLog > 0 {
+		t.Errorf("expected decay under the null, log = %v", nullLog)
+	}
+	for i := 0; i < 50; i++ {
+		m.Update(0.001)
+	}
+	if m.LogValue() <= nullLog {
+		t.Error("power martingale did not grow under drift")
+	}
+	// A fresh martingale does cross the Ville threshold under drift.
+	m.Reset()
+	if m.LogValue() != 0 || m.Exceeds(0.5) {
+		t.Error("Reset left state behind")
+	}
+	for i := 0; i < 50; i++ {
+		m.Update(0.001)
+	}
+	if !m.Exceeds(0.01) {
+		t.Errorf("fresh power martingale did not exceed 100 under drift (log=%v)", m.LogValue())
+	}
+}
+
+// TestAdditiveFasterThanMultiplicative reproduces the paper's §4.2.3
+// motivation: after a long null phase the multiplicative martingale has
+// decayed and takes longer to signal than the additive CUSUM.
+func TestAdditiveFasterThanMultiplicative(t *testing.T) {
+	rng := stats.NewRNG(4)
+	cus := NewCUSUM(ShiftedOdd(4), 2, 3)
+	pow := NewPowerMartingale(Power(0.5))
+	test := DriftTest{W: 3, R: 0.5}
+
+	for i := 0; i < 3000; i++ {
+		p := rng.Float64()
+		cus.Update(p)
+		pow.Update(p)
+	}
+	cusAt, powAt := -1, -1
+	for i := 0; i < 500; i++ {
+		p := 0.005 * rng.Float64()
+		cus.Update(p)
+		pow.Update(p)
+		if cusAt < 0 && test.Check(cus) {
+			cusAt = i
+		}
+		if powAt < 0 && pow.LogValue() > math.Log(1/0.05) {
+			powAt = i
+		}
+	}
+	if cusAt < 0 {
+		t.Fatal("CUSUM never detected")
+	}
+	if powAt >= 0 && cusAt > powAt {
+		t.Errorf("CUSUM detected at %d, after multiplicative at %d", cusAt, powAt)
+	}
+}

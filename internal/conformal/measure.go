@@ -1,0 +1,121 @@
+// Package conformal implements the conformal-prediction machinery of
+// paper §4: non-conformity measures, conformal p-values (Eq. 1), betting
+// functions (§4.2.4), exchangeability martingales (additive, as the paper
+// constructs, and the classic multiplicative power martingale for
+// comparison), and the windowed Hoeffding–Azuma drift test (Eq. 15).
+package conformal
+
+import (
+	"fmt"
+	"sort"
+
+	"videodrift/internal/tensor"
+)
+
+// Measure maps an observation and a reference sample to a non-conformity
+// score: the larger the score, the stranger the observation is with
+// respect to the reference (paper §4).
+type Measure interface {
+	// Score returns the non-conformity of x against ref.
+	Score(x tensor.Vector, ref []tensor.Vector) float64
+}
+
+// KNN is the k-nearest-neighbour non-conformity measure the paper adopts:
+// the average Euclidean distance from the observation to its K closest
+// elements of the reference sample (§4.2.3 with K from §6.1).
+type KNN struct {
+	K int
+}
+
+// Score implements Measure. When the reference holds fewer than K
+// elements, all of them are used. It panics on an empty reference.
+func (m KNN) Score(x tensor.Vector, ref []tensor.Vector) float64 {
+	if len(ref) == 0 {
+		panic("conformal: KNN.Score with empty reference")
+	}
+	k := m.K
+	if k <= 0 {
+		k = 1
+	}
+	if k > len(ref) {
+		k = len(ref)
+	}
+	dists := make([]float64, len(ref))
+	for i, r := range ref {
+		dists[i] = x.Dist(r)
+	}
+	sort.Float64s(dists)
+	sum := 0.0
+	for _, d := range dists[:k] {
+		sum += d
+	}
+	return sum / float64(k)
+}
+
+// Calibrate returns the leave-one-out non-conformity score of every
+// element of ref against the rest — the precomputed A_i list of
+// Algorithm 1. It panics when ref has fewer than two elements.
+func Calibrate(m Measure, ref []tensor.Vector) []float64 {
+	if len(ref) < 2 {
+		panic(fmt.Sprintf("conformal: Calibrate needs >= 2 reference points, got %d", len(ref)))
+	}
+	scores := make([]float64, len(ref))
+	rest := make([]tensor.Vector, len(ref)-1)
+	for i := range ref {
+		rest = rest[:0]
+		rest = append(rest, ref[:i]...)
+		rest = append(rest, ref[i+1:]...)
+		scores[i] = m.Score(ref[i], rest)
+	}
+	return scores
+}
+
+// PValue computes the conformal p-value of Eq. 1 / Algorithm 1 lines 4–9:
+// the fraction of calibration scores strictly greater than a, with ties
+// broken by the uniform draw u in [0,1). Small p-values mean strange
+// observations. It panics on an empty calibration list.
+func PValue(calib []float64, a float64, u float64) float64 {
+	if len(calib) == 0 {
+		panic("conformal: PValue with empty calibration scores")
+	}
+	score := 0.0
+	for _, c := range calib {
+		switch {
+		case c > a:
+			score++
+		case c == a:
+			score += u
+		}
+	}
+	return score / float64(len(calib))
+}
+
+// SortedCalib is a calibration list pre-sorted for O(log n) p-values,
+// used on the hot monitoring path.
+type SortedCalib struct {
+	scores []float64
+}
+
+// NewSortedCalib copies and sorts calibration scores.
+func NewSortedCalib(calib []float64) *SortedCalib {
+	if len(calib) == 0 {
+		panic("conformal: NewSortedCalib with empty calibration scores")
+	}
+	s := append([]float64(nil), calib...)
+	sort.Float64s(s)
+	return &SortedCalib{scores: s}
+}
+
+// Len returns the number of calibration scores.
+func (s *SortedCalib) Len() int { return len(s.scores) }
+
+// PValue returns the Eq. 1 p-value of score a with tie-break draw u,
+// computed by binary search.
+func (s *SortedCalib) PValue(a float64, u float64) float64 {
+	n := len(s.scores)
+	lo := sort.SearchFloat64s(s.scores, a)          // first index with score >= a
+	hi := sort.Search(n, func(i int) bool { return s.scores[i] > a }) // first > a
+	greater := float64(n - hi)
+	ties := float64(hi - lo)
+	return (greater + u*ties) / float64(n)
+}

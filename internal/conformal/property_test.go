@@ -1,0 +1,123 @@
+package conformal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"videodrift/internal/stats"
+)
+
+// TestCUSUMMartingaleProperty checks the conditional drift of the floored
+// process under uniform p-values by Monte Carlo. Away from the floor
+// (S ≥ κ/2, where truncation cannot bite) the process is an exact
+// martingale: E[S_{n+1} | S_n] = S_n. Inside the floor's reach the
+// truncation pushes upward, maximally at S = 0 where
+// E[max(0, g(U))] = κ/8 exactly. The windowed drift test of Eq. 15 is
+// calibrated for the un-floored increments, which is why its false-alarm
+// analysis stays valid even though the floored level wanders.
+func TestCUSUMMartingaleProperty(t *testing.T) {
+	rng := stats.NewRNG(71)
+	const kappa = 4.0
+	bet := ShiftedOdd(kappa)
+	for _, start := range []float64{0, 0.5, 3, 10} {
+		var w stats.Welford
+		for trial := 0; trial < 40000; trial++ {
+			next := math.Max(0, start+bet(rng.Float64()))
+			w.Add(next - start)
+		}
+		const bound = 0.02 // Monte Carlo tolerance
+		switch {
+		case start == 0:
+			// At the floor, E[max(0, g(U))] = κ/8 exactly.
+			if math.Abs(w.Mean()-kappa/8) > bound {
+				t.Errorf("at the floor, E[increment] = %v, want %v", w.Mean(), kappa/8)
+			}
+		case start < kappa/2:
+			// Within the floor's reach: non-negative, below the floor max.
+			if w.Mean() < -bound || w.Mean() > kappa/8+bound {
+				t.Errorf("from S=%v, E[increment] = %v, want within [0, κ/8]", start, w.Mean())
+			}
+		default:
+			// Clear of the floor: exact martingale.
+			if math.Abs(w.Mean()) > bound {
+				t.Errorf("from S=%v, E[increment] = %v, want 0", start, w.Mean())
+			}
+		}
+	}
+}
+
+// TestPValueMonotoneInScore checks that a stranger observation never gets
+// a larger p-value (with the tie-break draw held fixed).
+func TestPValueMonotoneInScore(t *testing.T) {
+	rng := stats.NewRNG(72)
+	f := func(seed uint8) bool {
+		calib := rng.NormalVec(30, 0, 1)
+		a := rng.Normal(0, 1)
+		b := a + rng.Uniform(0, 2) // b is stranger
+		u := rng.Float64()
+		return PValue(calib, b, u) <= PValue(calib, a, u)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPValueRange checks p-values always land in [0, 1].
+func TestPValueRange(t *testing.T) {
+	rng := stats.NewRNG(73)
+	f := func(seed uint8) bool {
+		calib := rng.NormalVec(rng.Intn(50)+1, 0, 3)
+		p := PValue(calib, rng.Normal(0, 5), rng.Float64())
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWindowDeltaBounded checks the windowed growth never exceeds
+// W·max|g|, the bound the Hoeffding threshold relies on.
+func TestWindowDeltaBounded(t *testing.T) {
+	rng := stats.NewRNG(74)
+	const kappa, w = 4.0, 5
+	c := NewCUSUM(ShiftedOdd(kappa), kappa/2, w)
+	limit := float64(w) * kappa / 2
+	for i := 0; i < 5000; i++ {
+		c.Update(rng.Float64() * rng.Float64()) // skewed-small p-values
+		if d := c.WindowDelta(); d > limit+1e-9 {
+			t.Fatalf("window delta %v exceeds bound %v", d, limit)
+		}
+	}
+}
+
+// TestThresholdMonotoneInW checks the drift threshold grows with the
+// window (both modes).
+func TestThresholdMonotoneInW(t *testing.T) {
+	for _, mode := range []ThresholdMode{ThresholdHoeffding, ThresholdPaperLiteral} {
+		prev := 0.0
+		for w := 1; w <= 16; w++ {
+			th := DriftTest{W: w, R: 0.5, Mode: mode}.Threshold(2)
+			if th <= prev {
+				t.Fatalf("mode %v: threshold not monotone at W=%d", mode, w)
+			}
+			prev = th
+		}
+	}
+}
+
+// TestSortedCalibInsensitiveToOrder checks p-values do not depend on the
+// calibration scores' order.
+func TestSortedCalibInsensitiveToOrder(t *testing.T) {
+	rng := stats.NewRNG(75)
+	f := func(seed uint8) bool {
+		calib := rng.NormalVec(20, 0, 1)
+		shuffled := append([]float64(nil), calib...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		a, u := rng.Normal(0, 2), rng.Float64()
+		return math.Abs(NewSortedCalib(calib).PValue(a, u)-NewSortedCalib(shuffled).PValue(a, u)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

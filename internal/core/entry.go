@@ -1,0 +1,255 @@
+// Package core implements the paper's contribution: the Drift Inspector
+// (Algorithm 1), the MSBI and MSBO model-selection algorithms (Algorithms
+// 2 and 3), and the end-to-end drift-aware pipeline of Figure 1 that ties
+// them to a registry of provisioned models.
+package core
+
+import (
+	"fmt"
+
+	"videodrift/internal/classifier"
+	"videodrift/internal/conformal"
+	"videodrift/internal/stats"
+	"videodrift/internal/tensor"
+	"videodrift/internal/vae"
+	"videodrift/internal/vidsim"
+	"videodrift/internal/vision"
+)
+
+// Labeler maps a frame to its query label (e.g. the car count bucket) —
+// the role Mask R-CNN annotation plays in the paper (§5.4).
+type Labeler func(f vidsim.Frame) int
+
+// SampleSource selects where an entry's reference sample Σ_{T_i} comes
+// from.
+type SampleSource int
+
+const (
+	// SourceHeldOut draws Σ_{T_i} from the training frames themselves
+	// (temporally strided, so approximately independent). It skips VAE
+	// training and preserves full appearance detail — the default,
+	// because decoded VAE samples are blurry enough to blunt the
+	// non-conformity measure on subtle drifts (see DESIGN.md §2; the
+	// ablation benchmark quantifies the gap).
+	SourceHeldOut SampleSource = iota
+	// SourceVAE is the paper-faithful mode: train the VAE A_{T_i} and
+	// decode z ~ N(0,I) into Σ_{T_i}.
+	SourceVAE
+)
+
+// ProvisionConfig controls how a ModelEntry is built from training frames.
+type ProvisionConfig struct {
+	Source       SampleSource
+	VAE          vae.Config
+	VAEEpochs    int
+	SampleCount  int // |Σ_Ti|, the size of the reference sample
+	K            int // kNN parameter for the calibration scores
+	Classifier   classifier.Config
+	EnsembleSize int // L, the MSBO deep-ensemble size
+	Seed         int64
+	// QueryFn is the classifier front-end mapping frame pixels to the
+	// query model's input (vision.QueryFeatures when nil; use
+	// vision.SpatialFeatures for spatial-constrained queries). The
+	// classifier's InputDim is derived from it.
+	QueryFn vision.FeatureFunc
+}
+
+// DefaultProvisionConfig returns the repo's scaled-down defaults for the
+// paper's training setup (§6: VAE per distribution, VGG-style classifier,
+// ensemble of L members).
+func DefaultProvisionConfig(frameDim, numClasses int) ProvisionConfig {
+	return ProvisionConfig{
+		VAE:          vae.DefaultConfig(frameDim),
+		VAEEpochs:    8,
+		SampleCount:  100,
+		K:            5,
+		Classifier:   classifier.Config{HiddenDim: 48, NumClasses: numClasses, LR: 5e-3, Epochs: 60},
+		EnsembleSize: 5,
+		Seed:         1,
+	}
+}
+
+// ModelEntry bundles everything provisioned alongside one model M_i: the
+// VAE A_{T_i}, the i.i.d. sample Σ_{T_i} it generated, the precomputed
+// non-conformity calibration scores A_i, the query classifier, and the
+// MSBO uncertainty ensemble (Table 1 of the paper).
+type ModelEntry struct {
+	Name string
+	W, H int // frame geometry the entry was provisioned for
+
+	VAE         *vae.VAE
+	Samples     []tensor.Vector // Σ_{T_i}, decoded pixel-space samples
+	SampleFeats []tensor.Vector // Featurize(Σ_{T_i}) — what DI measures against
+	CalibRaw    []float64       // A_i, scores of training frames against Σ
+	Calib       *conformal.SortedCalib
+
+	Classifier *classifier.Classifier // query model (nil when unsupervised)
+	Ensemble   *classifier.Ensemble   // MSBO ensemble (nil when unsupervised)
+	queryFn    vision.FeatureFunc     // classifier front-end
+
+	// CalibSample is a labeled random sample S_{T_i} of the training data
+	// retained for MSBO threshold calibration (§5.2.2).
+	CalibSample []classifier.Sample
+}
+
+// Provision builds a ModelEntry from training frames: trains the VAE,
+// draws the i.i.d. sample Σ_{T_i}, precomputes calibration scores, and —
+// when a labeler is supplied — trains the query classifier and the MSBO
+// ensemble on labeler-annotated frames (§5.4). A nil labeler produces an
+// unsupervised entry usable by DI and MSBI only.
+func Provision(name string, frames []vidsim.Frame, labeler Labeler, cfg ProvisionConfig) *ModelEntry {
+	if len(frames) == 0 {
+		panic("core: Provision with no training frames")
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	dim := len(frames[0].Pixels)
+	if cfg.VAE.InputDim != dim {
+		cfg.VAE.InputDim = dim
+	}
+	w, h := frames[0].W, frames[0].H
+	if cfg.SampleCount > len(frames) {
+		cfg.SampleCount = len(frames)
+	}
+
+	// Calibration scores A_i must come from real frames DISJOINT from the
+	// reference sample Σ: a frame scored against a sample containing
+	// itself gets a deflated kNN score, which would bias every live
+	// p-value small and flood the martingale with false drifts. (The
+	// paper precomputes A_i from the Σ elements themselves; decoded VAE
+	// samples are mutually smoother than real frames, so we calibrate on
+	// real frames instead — the standard inductive-conformal recipe. See
+	// DESIGN.md §2.)
+	var v *vae.VAE
+	var samples []tensor.Vector
+	perm := rng.Perm(len(frames))
+	calIdx := perm // frames used for calibration (all of them, in VAE mode)
+	switch cfg.Source {
+	case SourceVAE:
+		v = vae.New(cfg.VAE, rng.Split())
+		data := make([]tensor.Vector, len(frames))
+		for i, f := range frames {
+			data[i] = f.Pixels
+		}
+		v.Fit(data, cfg.VAEEpochs)
+		samples = v.Sample(cfg.SampleCount)
+	default: // SourceHeldOut
+		nSamp := cfg.SampleCount
+		if max := (len(frames) + 1) / 2; nSamp > max {
+			nSamp = max
+		}
+		samples = make([]tensor.Vector, nSamp)
+		for i, idx := range perm[:nSamp] {
+			samples[i] = frames[idx].Pixels
+		}
+		if rest := perm[nSamp:]; len(rest) > 0 {
+			calIdx = rest
+		}
+	}
+	feats := vision.FeaturizeFrames(samples, w, h)
+	nCal := len(calIdx)
+	if nCal > 256 {
+		nCal = 256
+	}
+	measure := conformal.KNN{K: cfg.K}
+	calib := make([]float64, nCal)
+	for i := 0; i < nCal; i++ {
+		calib[i] = measure.Score(vision.Featurize(frames[calIdx[i]].Pixels, w, h), feats)
+	}
+
+	e := &ModelEntry{
+		Name:        name,
+		W:           w,
+		H:           h,
+		VAE:         v,
+		Samples:     samples,
+		SampleFeats: feats,
+		CalibRaw:    calib,
+		Calib:       conformal.NewSortedCalib(calib),
+	}
+
+	if labeler != nil {
+		if cfg.QueryFn == nil {
+			cfg.QueryFn = vision.QueryFeatures
+		}
+		e.queryFn = cfg.QueryFn
+		labeled := make([]classifier.Sample, len(frames))
+		for i, f := range frames {
+			labeled[i] = classifier.Sample{X: cfg.QueryFn(f.Pixels, w, h), Label: labeler(f)}
+		}
+		cfg.Classifier.InputDim = len(labeled[0].X)
+		e.Classifier = classifier.New(cfg.Classifier, rng.Split())
+		e.Classifier.Fit(labeled, rng.Split())
+		e.Ensemble = classifier.NewEnsemble(cfg.EnsembleSize, cfg.Classifier, rng.Split())
+		e.Ensemble.Fit(labeled, rng.Split())
+		// Retain a fixed-size labeled sample for MSBO calibration.
+		n := len(labeled)
+		if n > 32 {
+			n = 32
+		}
+		perm := rng.Perm(len(labeled))
+		e.CalibSample = make([]classifier.Sample, n)
+		for i := 0; i < n; i++ {
+			e.CalibSample[i] = labeled[perm[i]]
+		}
+	}
+	return e
+}
+
+// Registry is the collection of provisioned models M_1 … M_m the Model
+// Selector chooses from.
+type Registry struct {
+	entries []*ModelEntry
+}
+
+// NewRegistry builds a registry from entries.
+func NewRegistry(entries ...*ModelEntry) *Registry {
+	return &Registry{entries: entries}
+}
+
+// Add appends an entry (e.g. a freshly trained model after a novel drift).
+func (r *Registry) Add(e *ModelEntry) { r.entries = append(r.entries, e) }
+
+// Entries returns the registry's entries in insertion order.
+func (r *Registry) Entries() []*ModelEntry { return r.entries }
+
+// Len returns the number of provisioned models.
+func (r *Registry) Len() int { return len(r.entries) }
+
+// Get returns the entry with the given name, or nil.
+func (r *Registry) Get(name string) *ModelEntry {
+	for _, e := range r.entries {
+		if e.Name == name {
+			return e
+		}
+	}
+	return nil
+}
+
+// Names returns the entry names in insertion order.
+func (r *Registry) Names() []string {
+	names := make([]string, len(r.entries))
+	for i, e := range r.entries {
+		names[i] = e.Name
+	}
+	return names
+}
+
+// Predict runs the entry's query classifier on a frame (through the
+// shared query-feature front-end). It panics on unsupervised entries.
+func (e *ModelEntry) Predict(f vidsim.Frame) int {
+	if e.Classifier == nil {
+		panic("core: Predict on an unsupervised entry")
+	}
+	return e.Classifier.Predict(e.queryFn(f.Pixels, e.W, e.H))
+}
+
+// QuerySample converts a frame and its label into the classifier sample
+// format (query features + label) used for MSBO windows.
+func (e *ModelEntry) QuerySample(f vidsim.Frame, label int) classifier.Sample {
+	return classifier.Sample{X: e.queryFn(f.Pixels, e.W, e.H), Label: label}
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (r *Registry) String() string {
+	return fmt.Sprintf("Registry(%d models: %v)", r.Len(), r.Names())
+}

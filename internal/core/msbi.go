@@ -1,0 +1,142 @@
+package core
+
+import (
+	"videodrift/internal/stats"
+	"videodrift/internal/vidsim"
+)
+
+// MSBIConfig carries the Model-Selection-Based-on-Input parameters
+// (Algorithm 2).
+type MSBIConfig struct {
+	DI    DIConfig
+	WN    int     // post-drift frames examined (§6.2 / §6.2.2)
+	RStep float64 // significance escalation step for tie-breaking
+	RMax  float64 // escalation cap (thresholds need r < 2)
+	// MeanPFloor rescues marginal rejections: when every model's
+	// martingale fires on the window, the model with the highest mean
+	// conformal p-value is still selected if that mean clears this floor.
+	// Matching models keep near-uniform p-values (mean ≈ 0.5, dipping
+	// under transient scene cohorts) while genuinely mismatched models
+	// sit near zero, so the floor separates "marginally strange" from
+	// "novel distribution".
+	MeanPFloor float64
+}
+
+// DefaultMSBIConfig returns the paper's MSBI parameters. W_N follows the
+// §6.2.2 time analysis (30 frames examined). The selection window's Drift
+// Inspectors sample every third frame: the window is short, but object
+// appearance statistics persist for an object's lifetime (~25 frames), so
+// per-frame testing would let one odd scene configuration masquerade as a
+// rejection of the matching model.
+func DefaultMSBIConfig() MSBIConfig {
+	di := DefaultDIConfig()
+	di.SampleEvery = 3
+	return MSBIConfig{DI: di, WN: 30, RStep: 0.1, RMax: 1.9, MeanPFloor: 0.1}
+}
+
+// MSBIResult reports one MSBI run.
+type MSBIResult struct {
+	Selected    *ModelEntry // nil when a new model must be trained
+	FramesUsed  int
+	Escalations int // tie-break rounds (r increases)
+}
+
+// MSBI is Algorithm 2: it replays the post-drift window through a fresh
+// Drift Inspector per provisioned model at significance r. Models whose
+// i.i.d. hypothesis is rejected (drift declared) are dropped. If every
+// model rejects, the data is novel and a new model must be trained
+// (Selected = nil). Ties between surviving models are broken by escalating
+// r (shrinking the threshold) and, if several still survive at the cap, by
+// the smallest final martingale value — the least-drifted match.
+func MSBI(window []vidsim.Frame, entries []*ModelEntry, cfg MSBIConfig, rng *stats.RNG) MSBIResult {
+	if len(window) == 0 || len(entries) == 0 {
+		return MSBIResult{}
+	}
+	n := cfg.WN
+	if n <= 0 || n > len(window) {
+		n = len(window)
+	}
+	frames := window[:n]
+
+	res := MSBIResult{FramesUsed: n}
+	candidates := entries
+	r := cfg.DI.R
+	for {
+		type outcome struct {
+			entry *ModelEntry
+			delta float64 // final martingale value, the tie-break key
+			meanP float64
+		}
+		var survivors []outcome
+		bestMeanP := 0.0
+		var bestEntry *ModelEntry
+		for _, e := range candidates {
+			diCfg := cfg.DI
+			diCfg.R = r
+			di := NewDriftInspector(e, diCfg, rng.Split())
+			drifted := false
+			for _, f := range frames {
+				if di.ObserveFrame(f) && !drifted {
+					drifted = true
+				}
+			}
+			if mp := di.MeanP(); mp > bestMeanP {
+				bestMeanP = mp
+				bestEntry = e
+			}
+			if !drifted {
+				survivors = append(survivors, outcome{e, di.MartingaleValue(), di.MeanP()})
+			}
+		}
+		switch {
+		case len(survivors) == 0:
+			// All models reject. If the best model's p-values were merely
+			// dented (a transient scene cohort) rather than collapsed,
+			// retain it; a genuinely novel distribution collapses every
+			// model's p-values to ~0 (trainNewModel path). After
+			// escalation rounds, the last surviving set ties and the
+			// least-drifted candidate wins.
+			switch {
+			case res.Escalations > 0 && len(candidates) > 0:
+				res.Selected = leastDrifted(frames, candidates, cfg, rng)
+			case bestMeanP >= cfg.MeanPFloor:
+				res.Selected = bestEntry
+			}
+			return res
+		case len(survivors) == 1:
+			res.Selected = survivors[0].entry
+			return res
+		}
+		// Multiple survivors: escalate the significance level and retest
+		// only them (Algorithm 2 line 14).
+		next := make([]*ModelEntry, len(survivors))
+		for i, s := range survivors {
+			next[i] = s.entry
+		}
+		candidates = next
+		r += cfg.RStep
+		res.Escalations++
+		if r >= cfg.RMax {
+			res.Selected = leastDrifted(frames, candidates, cfg, rng)
+			return res
+		}
+	}
+}
+
+// leastDrifted returns the candidate whose martingale ends lowest on the
+// window — the closest distributional match.
+func leastDrifted(frames []vidsim.Frame, candidates []*ModelEntry, cfg MSBIConfig, rng *stats.RNG) *ModelEntry {
+	var best *ModelEntry
+	bestVal := 0.0
+	for _, e := range candidates {
+		di := NewDriftInspector(e, cfg.DI, rng.Split())
+		for _, f := range frames {
+			di.ObserveFrame(f)
+		}
+		if best == nil || di.MartingaleValue() < bestVal {
+			best = e
+			bestVal = di.MartingaleValue()
+		}
+	}
+	return best
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+
+	"videodrift/internal/classifier"
+	"videodrift/internal/stats"
+	"videodrift/internal/vidsim"
+)
+
+// SelectorKind picks the model-selection algorithm the pipeline runs on a
+// drift.
+type SelectorKind int
+
+// Selector kinds.
+const (
+	SelectorMSBI SelectorKind = iota
+	SelectorMSBO
+)
+
+// String returns the selector's paper name.
+func (s SelectorKind) String() string {
+	if s == SelectorMSBO {
+		return "MSBO"
+	}
+	return "MSBI"
+}
+
+// PipelineConfig configures the end-to-end drift-aware pipeline.
+type PipelineConfig struct {
+	DI       DIConfig
+	MSBI     MSBIConfig
+	MSBO     MSBOConfig
+	Selector SelectorKind
+
+	// Provision is used to train a new model when no provisioned model
+	// fits the post-drift data (the trainNewModel path of §5.4).
+	Provision ProvisionConfig
+	// NewModelFrames is how many post-drift frames are collected before
+	// training a new model (paper: 5k; scaled down by default here).
+	NewModelFrames int
+	// Seed drives the pipeline's tie-break randomness.
+	Seed int64
+}
+
+// DefaultPipelineConfig returns paper-parameter defaults scaled to the
+// repo's synthetic frames.
+func DefaultPipelineConfig(frameDim, numClasses int) PipelineConfig {
+	return PipelineConfig{
+		DI:             DefaultDIConfig(),
+		MSBI:           DefaultMSBIConfig(),
+		MSBO:           DefaultMSBOConfig(),
+		Selector:       SelectorMSBO,
+		Provision:      DefaultProvisionConfig(frameDim, numClasses),
+		NewModelFrames: 256,
+		Seed:           7,
+	}
+}
+
+// pipelineState is the pipeline's processing mode.
+type pipelineState int
+
+const (
+	stateMonitoring pipelineState = iota // DI watches every frame
+	stateSelecting                       // collecting the selection window
+	stateTraining                        // collecting frames for a new model
+)
+
+// Outcome reports what the pipeline did with one frame.
+type Outcome struct {
+	Prediction  int    // deployed model's query prediction for this frame
+	Drift       bool   // a drift was declared on this frame
+	SwitchedTo  string // non-empty when a model was deployed this frame
+	TrainedNew  bool   // the switch deployed a freshly trained model
+	Invocations int    // model invocations spent on this frame (always 1)
+}
+
+// Metrics accumulates pipeline statistics for the end-to-end evaluation
+// (§6.3).
+type Metrics struct {
+	Frames           int
+	ModelInvocations int
+	DriftsDetected   int
+	ModelsSelected   int
+	ModelsTrained    int
+}
+
+// Pipeline is the operational architecture of Figure 1: frames flow
+// through the deployed model and the Drift Inspector; on a drift the Model
+// Selector picks a provisioned model or triggers new-model training, the
+// winner is deployed, and monitoring resumes. It is not safe for
+// concurrent use.
+type Pipeline struct {
+	cfg     PipelineConfig
+	reg     *Registry
+	labeler Labeler
+	rng     *stats.RNG
+
+	current *ModelEntry
+	di      *DriftInspector
+	th      MSBOThresholds
+
+	state  pipelineState
+	buffer []vidsim.Frame
+	novel  int // counter for naming trained models
+
+	metrics Metrics
+}
+
+// NewPipeline deploys the registry's first entry and starts monitoring.
+// The labeler (the annotation oracle) is required for SelectorMSBO and for
+// the new-model training path; it may be nil for an unsupervised
+// MSBI-only pipeline whose entries were provisioned without classifiers.
+func NewPipeline(reg *Registry, labeler Labeler, cfg PipelineConfig) *Pipeline {
+	if reg == nil || reg.Len() == 0 {
+		panic("core: NewPipeline needs a non-empty registry")
+	}
+	if cfg.Selector == SelectorMSBO && labeler == nil {
+		panic("core: SelectorMSBO requires a labeler for the W_T window")
+	}
+	p := &Pipeline{
+		cfg:     cfg,
+		reg:     reg,
+		labeler: labeler,
+		rng:     stats.NewRNG(cfg.Seed),
+	}
+	p.th = CalibrateMSBO(reg.Entries())
+	p.deploy(reg.Entries()[0])
+	return p
+}
+
+// Current returns the deployed model entry.
+func (p *Pipeline) Current() *ModelEntry { return p.current }
+
+// Metrics returns the accumulated pipeline statistics.
+func (p *Pipeline) Metrics() Metrics { return p.metrics }
+
+// Registry returns the pipeline's model registry (it grows when novel
+// distributions force new models).
+func (p *Pipeline) Registry() *Registry { return p.reg }
+
+func (p *Pipeline) deploy(e *ModelEntry) {
+	p.current = e
+	p.di = NewDriftInspector(e, p.cfg.DI, p.rng.Split())
+	p.state = stateMonitoring
+	p.buffer = nil
+}
+
+// selectionWindow returns how many frames the active selector needs.
+func (p *Pipeline) selectionWindow() int {
+	if p.cfg.Selector == SelectorMSBO {
+		return p.cfg.MSBO.WT
+	}
+	return p.cfg.MSBI.WN
+}
+
+// Process runs one frame through the pipeline and returns what happened.
+// The deployed model predicts on every frame regardless of state (the
+// stream keeps being served during selection and training, as in the
+// paper's end-to-end evaluation).
+func (p *Pipeline) Process(f vidsim.Frame) Outcome {
+	p.metrics.Frames++
+	p.metrics.ModelInvocations++
+	out := Outcome{Invocations: 1}
+	if p.current.Classifier != nil {
+		out.Prediction = p.current.Predict(f)
+	}
+
+	switch p.state {
+	case stateMonitoring:
+		if p.di.ObserveFrame(f) {
+			p.metrics.DriftsDetected++
+			out.Drift = true
+			p.state = stateSelecting
+			p.buffer = p.buffer[:0]
+		}
+
+	case stateSelecting:
+		p.buffer = append(p.buffer, f)
+		if len(p.buffer) >= p.selectionWindow() {
+			selected := p.runSelector()
+			if selected != nil {
+				p.metrics.ModelsSelected++
+				p.deploy(selected)
+				out.SwitchedTo = selected.Name
+			} else {
+				p.state = stateTraining
+			}
+		}
+
+	case stateTraining:
+		p.buffer = append(p.buffer, f)
+		if len(p.buffer) >= p.cfg.NewModelFrames {
+			e := p.trainNewModel()
+			p.metrics.ModelsTrained++
+			p.reg.Add(e)
+			p.th = CalibrateMSBO(p.reg.Entries())
+			p.deploy(e)
+			out.SwitchedTo = e.Name
+			out.TrainedNew = true
+		}
+	}
+	return out
+}
+
+// runSelector executes the configured model-selection algorithm on the
+// buffered post-drift window.
+func (p *Pipeline) runSelector() *ModelEntry {
+	if p.cfg.Selector == SelectorMSBO {
+		labeled := make([]classifier.Sample, len(p.buffer))
+		for i, f := range p.buffer {
+			labeled[i] = p.current.QuerySample(f, p.labeler(f))
+		}
+		return MSBO(labeled, p.reg.Entries(), p.th, p.cfg.MSBO).Selected
+	}
+	return MSBI(p.buffer, p.reg.Entries(), p.cfg.MSBI, p.rng.Split()).Selected
+}
+
+// trainNewModel provisions a model from the buffered post-drift frames
+// (§5.4: collect frames, annotate them, train the VAE and classifiers).
+func (p *Pipeline) trainNewModel() *ModelEntry {
+	p.novel++
+	name := fmt.Sprintf("novel-%d", p.novel)
+	cfg := p.cfg.Provision
+	cfg.Seed = p.rng.Int63()
+	return Provision(name, p.buffer, p.labeler, cfg)
+}

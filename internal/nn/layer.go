@@ -1,0 +1,176 @@
+// Package nn is a minimal CPU neural-network substrate: dense layers,
+// pointwise activations, stable classification and reconstruction losses,
+// and SGD/Adam optimizers. It exists so that the VAE the Drift Inspector
+// depends on (paper §4.2.2) and the classifier ensembles MSBO depends on
+// (paper §5.2.2) can be trained from scratch with no external dependencies.
+//
+// The package works on single examples (stochastic updates); the datasets
+// in this repo are small synthetic frames, for which per-example updates
+// converge quickly and keep the code simple and allocation-light.
+package nn
+
+import (
+	"math"
+
+	"videodrift/internal/stats"
+	"videodrift/internal/tensor"
+)
+
+// Param is one trainable tensor together with its gradient accumulator.
+// Optimizers mutate Value in place and read/clear Grad.
+type Param struct {
+	Value []float64
+	Grad  []float64
+}
+
+// Layer is one differentiable stage of a network. Forward caches whatever
+// Backward needs, so a Layer is stateful and not safe for concurrent use.
+type Layer interface {
+	// Forward computes the layer output for in.
+	Forward(in tensor.Vector) tensor.Vector
+	// Backward consumes the gradient of the loss with respect to the
+	// layer's output, accumulates parameter gradients, and returns the
+	// gradient with respect to the layer's input.
+	Backward(gradOut tensor.Vector) tensor.Vector
+	// Params returns the layer's trainable parameters (possibly empty).
+	Params() []*Param
+}
+
+// Dense is a fully connected layer computing W·x + b.
+type Dense struct {
+	W  *tensor.Matrix // out × in
+	B  tensor.Vector
+	GW *tensor.Matrix
+	GB tensor.Vector
+
+	in tensor.Vector // cached input for Backward
+}
+
+// NewDense returns a Dense layer with Xavier-initialized weights and zero
+// biases.
+func NewDense(inDim, outDim int, rng *stats.RNG) *Dense {
+	d := &Dense{
+		W:  tensor.NewMatrix(outDim, inDim),
+		B:  tensor.NewVector(outDim),
+		GW: tensor.NewMatrix(outDim, inDim),
+		GB: tensor.NewVector(outDim),
+	}
+	d.W.XavierInit(rng)
+	return d
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(in tensor.Vector) tensor.Vector {
+	d.in = in
+	out := d.W.MatVec(in)
+	out.AddInPlace(d.B)
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(gradOut tensor.Vector) tensor.Vector {
+	d.GW.AddOuterInPlace(1, gradOut, d.in)
+	d.GB.AddInPlace(gradOut)
+	return d.W.MatVecT(gradOut)
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param {
+	return []*Param{
+		{Value: d.W.Data, Grad: d.GW.Data},
+		{Value: d.B, Grad: d.GB},
+	}
+}
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+// Forward implements Layer.
+func (r *ReLU) Forward(in tensor.Vector) tensor.Vector {
+	if cap(r.mask) < len(in) {
+		r.mask = make([]bool, len(in))
+	}
+	r.mask = r.mask[:len(in)]
+	out := make(tensor.Vector, len(in))
+	for i, x := range in {
+		if x > 0 {
+			out[i] = x
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(gradOut tensor.Vector) tensor.Vector {
+	out := make(tensor.Vector, len(gradOut))
+	for i, g := range gradOut {
+		if r.mask[i] {
+			out[i] = g
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Sigmoid is the logistic activation.
+type Sigmoid struct {
+	out tensor.Vector
+}
+
+// Forward implements Layer.
+func (s *Sigmoid) Forward(in tensor.Vector) tensor.Vector {
+	out := make(tensor.Vector, len(in))
+	for i, x := range in {
+		out[i] = 1 / (1 + math.Exp(-x))
+	}
+	s.out = out
+	return out
+}
+
+// Backward implements Layer.
+func (s *Sigmoid) Backward(gradOut tensor.Vector) tensor.Vector {
+	out := make(tensor.Vector, len(gradOut))
+	for i, g := range gradOut {
+		y := s.out[i]
+		out[i] = g * y * (1 - y)
+	}
+	return out
+}
+
+// Params implements Layer.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+// Tanh is the hyperbolic-tangent activation.
+type Tanh struct {
+	out tensor.Vector
+}
+
+// Forward implements Layer.
+func (t *Tanh) Forward(in tensor.Vector) tensor.Vector {
+	out := make(tensor.Vector, len(in))
+	for i, x := range in {
+		out[i] = math.Tanh(x)
+	}
+	t.out = out
+	return out
+}
+
+// Backward implements Layer.
+func (t *Tanh) Backward(gradOut tensor.Vector) tensor.Vector {
+	out := make(tensor.Vector, len(gradOut))
+	for i, g := range gradOut {
+		y := t.out[i]
+		out[i] = g * (1 - y*y)
+	}
+	return out
+}
+
+// Params implements Layer.
+func (t *Tanh) Params() []*Param { return nil }

@@ -1,0 +1,106 @@
+package nn
+
+import "math"
+
+// Optimizer updates network parameters from accumulated gradients. Step
+// consumes the current gradients; callers clear them (Network.ZeroGrad)
+// before the next accumulation.
+type Optimizer interface {
+	Step(params []*Param)
+}
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+
+	velocity [][]float64
+}
+
+// NewSGD returns an SGD optimizer with the given learning rate and
+// momentum (0 for vanilla SGD).
+func NewSGD(lr, momentum float64) *SGD { return &SGD{LR: lr, Momentum: momentum} }
+
+// Step implements Optimizer.
+func (o *SGD) Step(params []*Param) {
+	if o.velocity == nil {
+		o.velocity = make([][]float64, len(params))
+		for i, p := range params {
+			o.velocity[i] = make([]float64, len(p.Value))
+		}
+	}
+	for i, p := range params {
+		v := o.velocity[i]
+		for j := range p.Value {
+			v[j] = o.Momentum*v[j] - o.LR*p.Grad[j]
+			p.Value[j] += v[j]
+		}
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba), the optimizer the paper trains
+// its VAE and classifiers with (§6).
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+
+	t int
+	m [][]float64
+	v [][]float64
+}
+
+// NewAdam returns an Adam optimizer with standard defaults
+// (β1=0.9, β2=0.999, ε=1e-8).
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8}
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(params []*Param) {
+	if o.m == nil {
+		o.m = make([][]float64, len(params))
+		o.v = make([][]float64, len(params))
+		for i, p := range params {
+			o.m[i] = make([]float64, len(p.Value))
+			o.v[i] = make([]float64, len(p.Value))
+		}
+	}
+	o.t++
+	c1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	c2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for i, p := range params {
+		m, v := o.m[i], o.v[i]
+		for j := range p.Value {
+			g := p.Grad[j]
+			m[j] = o.Beta1*m[j] + (1-o.Beta1)*g
+			v[j] = o.Beta2*v[j] + (1-o.Beta2)*g*g
+			mHat := m[j] / c1
+			vHat := v[j] / c2
+			p.Value[j] -= o.LR * mHat / (math.Sqrt(vHat) + o.Epsilon)
+		}
+	}
+}
+
+// ClipGrads scales all gradients down so their global L2 norm does not
+// exceed maxNorm. It is a no-op when the norm is already within bounds and
+// returns the pre-clip norm.
+func ClipGrads(params []*Param, maxNorm float64) float64 {
+	total := 0.0
+	for _, p := range params {
+		for _, g := range p.Grad {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, p := range params {
+			for j := range p.Grad {
+				p.Grad[j] *= scale
+			}
+		}
+	}
+	return norm
+}

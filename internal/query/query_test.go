@@ -1,0 +1,151 @@
+package query
+
+import (
+	"math"
+	"testing"
+
+	"videodrift/internal/detect"
+	"videodrift/internal/tensor"
+	"videodrift/internal/vidsim"
+	"videodrift/internal/vision"
+)
+
+// cleanFrame renders objects on a uniform background for exact label
+// checks.
+func cleanFrame(objs []vidsim.Object) vidsim.Frame {
+	const w, h = 32, 32
+	px := make(tensor.Vector, w*h)
+	px.Fill(0.75)
+	f := vidsim.Frame{W: w, H: h, Pixels: px, Truth: objs}
+	for _, o := range objs {
+		x0, y0 := int(math.Round(o.Left())), int(math.Round(o.Top()))
+		for y := y0; y < y0+int(math.Round(o.H)); y++ {
+			for x := x0; x < x0+int(math.Round(o.W)); x++ {
+				if x >= 0 && x < w && y >= 0 && y < h {
+					px[y*w+x] = o.Intensity
+				}
+			}
+		}
+	}
+	return f
+}
+
+func car(x, y float64) vidsim.Object {
+	return vidsim.Object{Class: vidsim.Car, X: x, Y: y, W: 5, H: 3, Intensity: 0.25}
+}
+
+func bus(x, y float64) vidsim.Object {
+	return vidsim.Object{Class: vidsim.Bus, X: x, Y: y, W: 8, H: 4, Intensity: 0.15}
+}
+
+func TestCountLabel(t *testing.T) {
+	a := NewAnnotator(10)
+	f := cleanFrame([]vidsim.Object{car(8, 8), car(24, 24)})
+	if got := a.CountLabel(f); got != 1 { // 2 cars → bucket 2/2 = 1
+		t.Errorf("CountLabel = %d, want bucket 1", got)
+	}
+	empty := cleanFrame(nil)
+	if got := a.CountLabel(empty); got != 0 {
+		t.Errorf("empty CountLabel = %d", got)
+	}
+}
+
+func TestCountLabelCapped(t *testing.T) {
+	a := NewAnnotator(2)
+	f := cleanFrame([]vidsim.Object{car(6, 6), car(16, 16), car(26, 26)})
+	if got := a.CountLabel(f); got != 1 { // capped at 2 → bucket 1
+		t.Errorf("capped CountLabel = %d, want 1", got)
+	}
+}
+
+func TestSpatialLabel(t *testing.T) {
+	a := NewAnnotator(10)
+	// Bus left of car → 1.
+	f := cleanFrame([]vidsim.Object{bus(8, 8), car(24, 24)})
+	if got := a.SpatialLabel(f); got != 1 {
+		t.Errorf("bus-left-of-car = %d, want 1", got)
+	}
+	// Bus right of car → 0.
+	f = cleanFrame([]vidsim.Object{car(8, 8), bus(24, 24)})
+	if got := a.SpatialLabel(f); got != 0 {
+		t.Errorf("bus-right-of-car = %d, want 0", got)
+	}
+	// No bus → 0.
+	f = cleanFrame([]vidsim.Object{car(8, 8), car(24, 24)})
+	if got := a.SpatialLabel(f); got != 0 {
+		t.Errorf("no-bus = %d, want 0", got)
+	}
+}
+
+func TestLabelerAndKinds(t *testing.T) {
+	a := NewAnnotator(5)
+	f := cleanFrame([]vidsim.Object{car(8, 8)})
+	if a.Labeler(Count)(f) != a.CountLabel(f) {
+		t.Error("Count labeler mismatch")
+	}
+	if a.Labeler(Spatial)(f) != a.SpatialLabel(f) {
+		t.Error("Spatial labeler mismatch")
+	}
+	if a.NumClasses(Count) != 3 || a.NumClasses(Spatial) != 2 { // maxCount 5, bucket 2
+		t.Error("NumClasses wrong")
+	}
+	if Count.String() != "count" || Spatial.String() != "spatial" {
+		t.Error("Kind.String wrong")
+	}
+	if Count.FeatureFn() == nil || Spatial.FeatureFn() == nil {
+		t.Error("FeatureFn nil")
+	}
+	if len(Spatial.FeatureFn()(f.Pixels, f.W, f.H)) != vision.SpatialDim {
+		t.Error("Spatial features dim wrong")
+	}
+}
+
+func TestAnnotatorWithYolo(t *testing.T) {
+	a := NewAnnotatorWith(detect.NewYOLOSim(), 10)
+	if a.DetectorName() != "yolo-sim" {
+		t.Errorf("DetectorName = %q", a.DetectorName())
+	}
+	f := cleanFrame([]vidsim.Object{car(8, 8), car(24, 24)})
+	if got := a.CountLabel(f); got < 0 || got > 10 {
+		t.Errorf("yolo CountLabel = %d", got)
+	}
+}
+
+func TestAnnotatorValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("maxCount 0 did not panic")
+		}
+	}()
+	NewAnnotator(0)
+}
+
+func TestAccuracy(t *testing.T) {
+	if got := Accuracy([]int{1, 2, 3}, []int{1, 0, 3}); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Accuracy = %v", got)
+	}
+	if Accuracy(nil, nil) != 0 {
+		t.Error("empty Accuracy != 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	Accuracy([]int{1}, []int{1, 2})
+}
+
+// TestOracleSelfConsistency mirrors the paper: the annotator's own
+// predictions score A_q = 1.0 against its labels.
+func TestOracleSelfConsistency(t *testing.T) {
+	a := NewAnnotator(30)
+	frames := vidsim.GenerateTraining(vidsim.Day(), 32, 32, 20, 9)
+	var pred, truth []int
+	for _, f := range frames {
+		pred = append(pred, a.CountLabel(f))
+		truth = append(truth, a.CountLabel(f))
+	}
+	if got := Accuracy(pred, truth); got != 1 {
+		t.Errorf("oracle self-accuracy = %v", got)
+	}
+}

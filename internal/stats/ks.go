@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KSUniform runs a one-sample Kolmogorov–Smirnov test of xs against the
+// Uniform[0,1] distribution. It returns the KS statistic D and the
+// asymptotic p-value. This is the classical tool the paper cites as the
+// non-parametric baseline for distribution-change testing, and it doubles
+// as the oracle our property tests use to check Theorem 4.1 (conformal
+// p-values are uniform under exchangeability).
+func KSUniform(xs []float64) (d, pvalue float64) {
+	n := len(xs)
+	if n == 0 {
+		return 0, 1
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	d = 0
+	for i, x := range sorted {
+		cdf := math.Min(math.Max(x, 0), 1)
+		lo := float64(i) / float64(n)
+		hi := float64(i+1) / float64(n)
+		if diff := math.Abs(cdf - lo); diff > d {
+			d = diff
+		}
+		if diff := math.Abs(cdf - hi); diff > d {
+			d = diff
+		}
+	}
+	return d, ksPValue(d, float64(n))
+}
+
+// KSTwoSample runs a two-sample Kolmogorov–Smirnov test between xs and ys.
+// It returns the KS statistic D and the asymptotic p-value.
+func KSTwoSample(xs, ys []float64) (d, pvalue float64) {
+	n, m := len(xs), len(ys)
+	if n == 0 || m == 0 {
+		return 0, 1
+	}
+	a := append([]float64(nil), xs...)
+	b := append([]float64(nil), ys...)
+	sort.Float64s(a)
+	sort.Float64s(b)
+	var i, j int
+	d = 0
+	for i < n && j < m {
+		if a[i] <= b[j] {
+			i++
+		} else {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(n) - float64(j)/float64(m))
+		if diff > d {
+			d = diff
+		}
+	}
+	en := float64(n) * float64(m) / float64(n+m)
+	return d, ksPValue(d, en)
+}
+
+// ksPValue returns the asymptotic Kolmogorov distribution tail probability
+// for statistic d with effective sample size en.
+func ksPValue(d, en float64) float64 {
+	if d <= 0 {
+		return 1
+	}
+	lambda := (math.Sqrt(en) + 0.12 + 0.11/math.Sqrt(en)) * d
+	// Kolmogorov asymptotic series: 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 lambda^2).
+	sum := 0.0
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(-2*float64(k)*float64(k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * sum
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}

@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"testing"
+)
+
+func TestKSUniformAcceptsUniform(t *testing.T) {
+	g := NewRNG(13)
+	rejections := 0
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		xs := g.UniformVec(500, 0, 1)
+		_, p := KSUniform(xs)
+		if p < 0.05 {
+			rejections++
+		}
+	}
+	// At the 5% level we expect ~2 rejections in 40 trials.
+	if rejections > 6 {
+		t.Errorf("KSUniform rejected true uniforms %d/%d times", rejections, trials)
+	}
+}
+
+func TestKSUniformRejectsNonUniform(t *testing.T) {
+	g := NewRNG(14)
+	xs := make([]float64, 500)
+	for i := range xs {
+		x := g.Float64()
+		xs[i] = x * x // squashed toward 0
+	}
+	d, p := KSUniform(xs)
+	if p > 0.001 {
+		t.Errorf("KSUniform on x^2 samples: D=%v p=%v, want tiny p", d, p)
+	}
+}
+
+func TestKSUniformEmpty(t *testing.T) {
+	d, p := KSUniform(nil)
+	if d != 0 || p != 1 {
+		t.Errorf("KSUniform(nil) = %v,%v", d, p)
+	}
+}
+
+func TestKSTwoSampleSameDistribution(t *testing.T) {
+	g := NewRNG(15)
+	rejections := 0
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		xs := g.NormalVec(300, 0, 1)
+		ys := g.NormalVec(300, 0, 1)
+		_, p := KSTwoSample(xs, ys)
+		if p < 0.05 {
+			rejections++
+		}
+	}
+	if rejections > 6 {
+		t.Errorf("KSTwoSample rejected equal distributions %d/%d times", rejections, trials)
+	}
+}
+
+func TestKSTwoSampleDifferentDistributions(t *testing.T) {
+	g := NewRNG(16)
+	xs := g.NormalVec(300, 0, 1)
+	ys := g.NormalVec(300, 2, 1)
+	d, p := KSTwoSample(xs, ys)
+	if p > 1e-6 {
+		t.Errorf("KSTwoSample on shifted normals: D=%v p=%v, want tiny p", d, p)
+	}
+}
+
+func TestKSTwoSampleSymmetry(t *testing.T) {
+	g := NewRNG(17)
+	xs := g.NormalVec(100, 0, 1)
+	ys := g.NormalVec(150, 0.5, 2)
+	d1, p1 := KSTwoSample(xs, ys)
+	d2, p2 := KSTwoSample(ys, xs)
+	if d1 != d2 || p1 != p2 {
+		t.Errorf("KSTwoSample not symmetric: (%v,%v) vs (%v,%v)", d1, p1, d2, p2)
+	}
+}
+
+func TestKSTwoSampleEmpty(t *testing.T) {
+	d, p := KSTwoSample(nil, []float64{1, 2})
+	if d != 0 || p != 1 {
+		t.Errorf("KSTwoSample with empty sample = %v,%v", d, p)
+	}
+}
+
+func TestKSPValueBounds(t *testing.T) {
+	for _, d := range []float64{0, 0.01, 0.1, 0.5, 1} {
+		for _, n := range []float64{5, 50, 5000} {
+			p := ksPValue(d, n)
+			if p < 0 || p > 1 {
+				t.Errorf("ksPValue(%v,%v) = %v out of [0,1]", d, n, p)
+			}
+		}
+	}
+	// Larger D must not increase the p-value.
+	if ksPValue(0.5, 100) > ksPValue(0.1, 100) {
+		t.Error("ksPValue not monotone in D")
+	}
+}

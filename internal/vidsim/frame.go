@@ -1,0 +1,70 @@
+package vidsim
+
+import "videodrift/internal/tensor"
+
+// Class labels the two object categories the paper's queries reference.
+type Class int
+
+// Object classes.
+const (
+	Car Class = iota
+	Bus
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	if c == Bus {
+		return "bus"
+	}
+	return "car"
+}
+
+// Object is one rendered scene object with its ground-truth geometry.
+// Coordinates are pixel-space centers; W and H are full extents.
+type Object struct {
+	Class     Class
+	X, Y      float64
+	W, H      float64
+	Intensity float64
+}
+
+// Left returns the left edge of the object's bounding box.
+func (o Object) Left() float64 { return o.X - o.W/2 }
+
+// Right returns the right edge of the object's bounding box.
+func (o Object) Right() float64 { return o.X + o.W/2 }
+
+// Top returns the top edge of the object's bounding box.
+func (o Object) Top() float64 { return o.Y - o.H/2 }
+
+// Bottom returns the bottom edge of the object's bounding box.
+func (o Object) Bottom() float64 { return o.Y + o.H/2 }
+
+// Frame is one rendered video frame. Pixels is a row-major W×H grayscale
+// image flattened to [0,1] values — the "multidimensional vector" of the
+// paper's problem statement. Truth carries the generator's ground-truth
+// scene state; production code paths never read it (annotation goes
+// through detect.Oracle, mirroring the paper where Mask R-CNN output
+// defines ground truth), but tests and the drift-point bookkeeping do.
+type Frame struct {
+	Index     int
+	W, H      int
+	Pixels    tensor.Vector
+	Truth     []Object
+	Condition string
+}
+
+// At returns the pixel value at column x, row y.
+func (f *Frame) At(x, y int) float64 { return f.Pixels[y*f.W+x] }
+
+// CountClass returns the number of ground-truth objects of class c whose
+// center lies inside the frame.
+func (f *Frame) CountClass(c Class) int {
+	n := 0
+	for _, o := range f.Truth {
+		if o.Class == c && o.X >= 0 && o.X < float64(f.W) && o.Y >= 0 && o.Y < float64(f.H) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,350 @@
+// Package vision holds the frame feature extractors shared by the drift
+// detector and the query classifiers — the hand-rolled stand-in for the
+// convolutional feature hierarchies the paper's models learn (DESIGN.md
+// §2). Two views of a frame are exposed:
+//
+//   - Featurize: count-invariant appearance statistics, which the Drift
+//     Inspector's non-conformity measure runs on;
+//   - QueryFeatures: count-sensitive occupancy statistics, which the
+//     count/spatial query classifiers and MSBO ensembles run on.
+package vision
+
+import (
+	"sort"
+
+	"videodrift/internal/tensor"
+)
+
+// Featurize summarizes a w×h frame into the count-invariant appearance
+// vector the Drift Inspector's non-conformity measure operates on:
+//
+//	[bg level, noise scale, dark-object intensity, bright-object/weather
+//	 intensity]
+//
+// All four are robust statistics of the pixel distribution: median,
+// scaled MAD, and the presence-weighted medians of the dark and bright
+// outlier pools.
+//
+// Every component is chosen to be invariant both to how MANY objects are
+// in the frame and to WHERE they currently sit: traffic volume fluctuates
+// constantly within a condition (bursts and lulls last dozens of frames)
+// and a given arrangement of objects persists for the objects' lifetimes,
+// so any count- or configuration-sensitive statistic — raw pixels,
+// intensity histograms, per-band object shares — hands the martingale
+// long runs of small p-values and fakes drifts. What the components do
+// move under is exactly what the datasets' drifts change: background
+// brightness (day/night), noise and bright speckle texture (rain/snow),
+// object appearance (camera angles, which in these datasets always shift
+// background and vehicle contrast along with the geometry).
+//
+// The paper computes the measure directly on frames; distances over this
+// summary are the same average-Euclidean construction over an
+// appearance-sufficient statistic of the frame (DESIGN.md §2 discusses
+// the substitution).
+func Featurize(pixels tensor.Vector, w, h int) tensor.Vector {
+	const madScale = 4.0
+	n := len(pixels)
+	med, sigma := medSigma(pixels)
+	cut := 3 * sigma
+	if cut < 0.08 {
+		cut = 0.08
+	}
+
+	// Outlier pools: object/weather pixels on either side of the
+	// background.
+	var dark, bright []float64
+	for _, p := range pixels {
+		d := p - med
+		if d > cut {
+			bright = append(bright, p)
+		} else if d < -cut {
+			dark = append(dark, p)
+		}
+	}
+
+	// Object-appearance dims are presence-weighted: they fade smoothly to
+	// zero as the outlier pool empties, so a frame with no vehicles on the
+	// road sits next to sparse frames in feature space instead of jumping
+	// to a discontinuous fallback (empty-road lulls last dozens of frames
+	// and must not read as drift). Presence saturates at ~one object's
+	// worth of pixels.
+	presence := func(count int) float64 {
+		p := float64(count) / (0.02 * float64(n))
+		if p > 1 {
+			return 1
+		}
+		return p
+	}
+	out := make(tensor.Vector, 4)
+	out[0] = med
+	out[1] = madScale * sigma
+	out[2] = (medianOf(dark, med) - med) * presence(len(dark))
+	out[3] = (medianOf(bright, med) - med) * presence(len(bright))
+	return out
+}
+
+// medSigma returns the pixel median and the scaled median absolute
+// deviation using fixed histograms — O(n) with a small constant, which
+// matters because every frame on the monitoring hot path passes through
+// here. Bin resolution is chosen so quantization stays well below the
+// features' natural in-distribution spread.
+func medSigma(pixels tensor.Vector) (med, sigma float64) {
+	const bins = 1024
+	var hist [bins]int
+	for _, p := range pixels {
+		b := int(p * bins)
+		if b >= bins {
+			b = bins - 1
+		} else if b < 0 {
+			b = 0
+		}
+		hist[b]++
+	}
+	half := (len(pixels) + 1) / 2
+	acc := 0
+	medBin := 0
+	for b, c := range hist {
+		acc += c
+		if acc >= half {
+			medBin = b
+			break
+		}
+	}
+	med = (float64(medBin) + 0.5) / bins
+	// Noise scale: the 35th percentile of |p − med|, scaled to estimate a
+	// Gaussian σ (q35 of |N(0,σ)| = 0.4538σ). The 35th percentile stays
+	// inside the background pixel population as long as objects cover
+	// less than ~65% of the frame, so — unlike the classic MAD — the
+	// estimate does not inflate during dense-traffic bursts.
+	// Deviations are small (noise-scale), so they get a finer grid over
+	// [0, 0.5] — the σ scale-up would otherwise amplify bin quantization
+	// into the feature itself.
+	const devBins = 2048
+	var dev [devBins]int
+	for _, p := range pixels {
+		d := p - med
+		if d < 0 {
+			d = -d
+		}
+		b := int(d * 2 * devBins)
+		if b >= devBins {
+			b = devBins - 1
+		}
+		dev[b]++
+	}
+	q35 := (len(pixels)*35 + 99) / 100
+	acc = 0
+	for b, c := range dev {
+		acc += c
+		if acc >= q35 {
+			sigma = (float64(b) + 0.5) / (2 * devBins) / 0.4538
+			break
+		}
+	}
+	return med, sigma
+}
+
+// medianOf returns the median of xs, or fallback when xs is empty. The
+// slice is sorted in place.
+func medianOf(xs []float64, fallback float64) float64 {
+	if len(xs) == 0 {
+		return fallback
+	}
+	sort.Float64s(xs)
+	return xs[len(xs)/2]
+}
+
+// FeaturizeFrames maps Featurize over a batch of equal-size frames.
+func FeaturizeFrames(frames []tensor.Vector, w, h int) []tensor.Vector {
+	out := make([]tensor.Vector, len(frames))
+	for i, f := range frames {
+		out[i] = Featurize(f, w, h)
+	}
+	return out
+}
+
+// QueryDim is the length of the vector QueryFeatures returns.
+const QueryDim = 9
+
+// QueryFeatures summarizes a w×h frame into the count-sensitive feature
+// vector the query classifiers consume: outlier-run occupancy split by
+// contrast polarity (dark/bright) and by run length (car-sized runs,
+// shorter than 7 pixels, versus bus-sized runs), plus the appearance
+// statistics Featurize uses. Car-run occupancy tracks how much car mass
+// is in the frame — the learnable signal for count queries, with bus mass
+// factored out so one bus does not read as three cars. Crucially there is
+// NO polarity-agnostic occupancy: a model trained where vehicles are
+// darker than the road learns to count dark mass, which reads zero when
+// the scene flips to bright-vehicles-on-dark-road — and the
+// pixels-per-vehicle slope depends on the condition's object scale — so a
+// classifier trained under one condition degrades under another, the
+// premise of the paper's §5.2 that the whole model-selection problem
+// rests on.
+func QueryFeatures(pixels tensor.Vector, w, h int) tensor.Vector {
+	const (
+		occWeight = 8.0 // occupancy fractions are small; scale them up
+		madScale  = 4.0
+		busRun    = 7
+	)
+	n := len(pixels)
+	med, sigma := medSigma(pixels)
+	cut := 3 * sigma
+	if cut < 0.08 {
+		cut = 0.08
+	}
+
+	// Outlier pools for intensity dims, and polarity/size-split run
+	// masses: mass[polarity][size] with polarity 0 = dark, 1 = bright and
+	// size 0 = car-run, 1 = bus-run.
+	var dark, bright []float64
+	var mass [2][2]float64
+	for y := 0; y < h; y++ {
+		row := pixels[y*w : (y+1)*w]
+		runStart := -1
+		runSum := 0.0
+		flush := func(end int) {
+			if runStart < 0 {
+				return
+			}
+			length := end - runStart
+			pol, size := 0, 0
+			if runSum > 0 {
+				pol = 1
+			}
+			if length >= busRun {
+				size = 1
+			}
+			if length >= 2 {
+				mass[pol][size] += float64(length)
+			}
+			runStart = -1
+			runSum = 0
+		}
+		for x := 0; x < w; x++ {
+			p := row[x]
+			d := p - med
+			switch {
+			case d > cut:
+				bright = append(bright, p)
+			case d < -cut:
+				dark = append(dark, p)
+			default:
+				flush(x)
+				continue
+			}
+			if runStart < 0 {
+				runStart = x
+			}
+			runSum += d
+		}
+		flush(w)
+	}
+
+	out := make(tensor.Vector, QueryDim)
+	out[0] = occWeight * mass[0][0] / float64(n) // dark car-runs
+	out[1] = occWeight * mass[0][1] / float64(n) // dark bus-runs
+	out[2] = occWeight * mass[1][0] / float64(n) // bright car-runs
+	out[3] = occWeight * mass[1][1] / float64(n) // bright bus-runs
+	out[4] = med
+	out[5] = madScale * sigma
+	// Presence-weighted object intensities (see Featurize).
+	presence := func(count int) float64 {
+		p := float64(count) / (0.02 * float64(n))
+		if p > 1 {
+			return 1
+		}
+		return p
+	}
+	out[6] = (medianOf(dark, med) - med) * presence(len(dark))
+	out[7] = (medianOf(bright, med) - med) * presence(len(bright))
+	out[8] = 1 // bias-like constant anchoring the scale
+	return out
+}
+
+// FeatureFunc is the signature shared by all frame featurizers.
+type FeatureFunc func(pixels tensor.Vector, w, h int) tensor.Vector
+
+// SpatialDim is the length of the vector SpatialFeatures returns.
+const SpatialDim = QueryDim + 16
+
+// SpatialFeatures extends QueryFeatures with horizontal layout
+// statistics, the front-end for spatial-constrained query classifiers
+// ("bus is on the left side of a car", §6.3.2): for each vertical quarter
+// of the frame's columns, the occupancy of bus-sized outlier runs
+// (horizontal runs of at least 7 object pixels) and of car-sized runs
+// (shorter runs), split by contrast polarity. A model can read
+// class-specific left-to-right layout from these — and, as with
+// QueryFeatures, the polarity split keeps the learned layout features
+// condition-specific, so cross-condition degradation carries over.
+func SpatialFeatures(pixels tensor.Vector, w, h int) tensor.Vector {
+	const (
+		quarters  = 4
+		busRun    = 7
+		occWeight = 16.0
+	)
+	base := QueryFeatures(pixels, w, h)
+	med := base[4] // background level, already computed
+	sigma := base[5] / 4
+	cut := 3 * sigma
+	if cut < 0.08 {
+		cut = 0.08
+	}
+
+	// mass[polarity][size][quarter]: polarity 0 = dark, 1 = bright;
+	// size 0 = car-run, 1 = bus-run.
+	var mass [2][2][quarters]float64
+	for y := 0; y < h; y++ {
+		row := pixels[y*w : (y+1)*w]
+		runStart := -1
+		runSum := 0.0
+		flush := func(end int) {
+			if runStart < 0 {
+				return
+			}
+			length := end - runStart
+			q := (runStart + end) / 2 * quarters / w
+			if q >= quarters {
+				q = quarters - 1
+			}
+			pol := 0
+			if runSum > 0 {
+				pol = 1
+			}
+			size := 0
+			if length >= busRun {
+				size = 1
+			}
+			if length >= 2 {
+				mass[pol][size][q] += float64(length)
+			}
+			runStart = -1
+			runSum = 0
+		}
+		for x := 0; x < w; x++ {
+			d := row[x] - med
+			if d > cut || d < -cut {
+				if runStart < 0 {
+					runStart = x
+				}
+				runSum += d
+			} else {
+				flush(x)
+			}
+		}
+		flush(w)
+	}
+
+	out := make(tensor.Vector, SpatialDim)
+	copy(out, base)
+	n := float64(len(pixels))
+	i := QueryDim
+	for pol := 0; pol < 2; pol++ {
+		for size := 0; size < 2; size++ {
+			for q := 0; q < quarters; q++ {
+				out[i] = occWeight * mass[pol][size][q] / n
+				i++
+			}
+		}
+	}
+	return out
+}

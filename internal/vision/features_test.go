@@ -1,0 +1,152 @@
+package vision
+
+import (
+	"math"
+	"testing"
+
+	"videodrift/internal/stats"
+	"videodrift/internal/tensor"
+	"videodrift/internal/vidsim"
+)
+
+func renderFrames(cond vidsim.Condition, n int, seed int64) []vidsim.Frame {
+	return vidsim.GenerateTraining(cond, 16, 16, n, seed)
+}
+
+func centroidOf(frames []vidsim.Frame, fn func(tensor.Vector, int, int) tensor.Vector) tensor.Vector {
+	var c tensor.Vector
+	for _, f := range frames {
+		x := fn(f.Pixels, f.W, f.H)
+		if c == nil {
+			c = tensor.NewVector(len(x))
+		}
+		c.AddInPlace(x)
+	}
+	return c.Scale(1 / float64(len(frames)))
+}
+
+func TestFeaturizeDims(t *testing.T) {
+	f := renderFrames(vidsim.Day(), 1, 1)[0]
+	if got := len(Featurize(f.Pixels, 16, 16)); got != 4 {
+		t.Errorf("Featurize dim = %d", got)
+	}
+	if got := len(QueryFeatures(f.Pixels, 16, 16)); got != QueryDim {
+		t.Errorf("QueryFeatures dim = %d, want %d", got, QueryDim)
+	}
+}
+
+func TestFeaturizeDeterministic(t *testing.T) {
+	f := renderFrames(vidsim.Night(), 1, 2)[0]
+	a := Featurize(f.Pixels, 16, 16)
+	b := Featurize(f.Pixels, 16, 16)
+	if a.Dist(b) != 0 {
+		t.Error("Featurize not deterministic")
+	}
+}
+
+// TestFeaturizeCountInvariance is the core design property: the same
+// condition at different traffic volumes stays close in feature space,
+// while different conditions separate.
+func TestFeaturizeCountInvariance(t *testing.T) {
+	// The invariance holds while objects stay a minority of the frame
+	// (median/MAD robustness breaks down as coverage approaches 50%); a
+	// 3.5x traffic swing within that domain must move features far less
+	// than a condition change.
+	sparse := vidsim.Day()
+	sparse.CarRate, sparse.BusRate = 2, 0
+	dense := vidsim.Day()
+	dense.CarRate, dense.BusRate = 7, 0
+
+	cSparse := centroidOf(renderFrames(sparse, 80, 3), Featurize)
+	cDense := centroidOf(renderFrames(dense, 80, 4), Featurize)
+	cNight := centroidOf(renderFrames(vidsim.Night(), 80, 5), Featurize)
+
+	within := cSparse.Dist(cDense)
+	across := cSparse.Dist(cNight)
+	if across < 3*within {
+		t.Errorf("count shift moved features %v, condition shift %v — want strong invariance", within, across)
+	}
+}
+
+// TestQueryFeaturesCountSensitivity is the complementary property: the
+// query features must move with traffic volume.
+func TestQueryFeaturesCountSensitivity(t *testing.T) {
+	sparse := vidsim.Day()
+	sparse.CarRate, sparse.BusRate = 2, 0
+	dense := vidsim.Day()
+	dense.CarRate, dense.BusRate = 12, 0
+
+	cSparse := centroidOf(renderFrames(sparse, 60, 6), QueryFeatures)
+	cDense := centroidOf(renderFrames(dense, 60, 7), QueryFeatures)
+	// Total occupancy (dim 0) must grow with traffic.
+	if cDense[0] <= cSparse[0]*1.5 {
+		t.Errorf("occupancy did not track count: sparse %v dense %v", cSparse[0], cDense[0])
+	}
+}
+
+func TestFeaturizeEmptyFrameSmooth(t *testing.T) {
+	// A uniform background frame (no objects) must have zero object dims
+	// and background dims matching the render.
+	px := make(tensor.Vector, 256)
+	rng := stats.NewRNG(8)
+	for i := range px {
+		px[i] = 0.6 + rng.Normal(0, 0.03)
+	}
+	x := Featurize(px, 16, 16)
+	if math.Abs(x[0]-0.6) > 0.02 {
+		t.Errorf("bg level = %v", x[0])
+	}
+	if math.Abs(x[2]) > 0.05 || math.Abs(x[3]) > 0.05 {
+		t.Errorf("object dims on empty frame = %v, %v — want ~0", x[2], x[3])
+	}
+	// One object fades the dim in smoothly, not discontinuously.
+	for i := 0; i < 6; i++ { // a 6-pixel sliver of object
+		px[100+i] = 0.2
+	}
+	x1 := Featurize(px, 16, 16)
+	if x1[2] >= 0 || x1[2] < -0.5 {
+		t.Errorf("dark dim with tiny object = %v", x1[2])
+	}
+}
+
+func TestConditionsSeparateInFeatureSpace(t *testing.T) {
+	conds := []vidsim.Condition{vidsim.Day(), vidsim.Night(), vidsim.RainCond(), vidsim.SnowCond()}
+	centroids := make([]tensor.Vector, len(conds))
+	for i, c := range conds {
+		centroids[i] = centroidOf(renderFrames(c, 60, int64(10+i)), Featurize)
+	}
+	for i := 0; i < len(conds); i++ {
+		for j := i + 1; j < len(conds); j++ {
+			if d := centroids[i].Dist(centroids[j]); d < 0.1 {
+				t.Errorf("%s vs %s feature distance = %v, too close",
+					conds[i].Name, conds[j].Name, d)
+			}
+		}
+	}
+}
+
+func TestFeaturizeFramesBatch(t *testing.T) {
+	frames := renderFrames(vidsim.Day(), 5, 20)
+	pix := make([]tensor.Vector, len(frames))
+	for i, f := range frames {
+		pix[i] = f.Pixels
+	}
+	batch := FeaturizeFrames(pix, 16, 16)
+	if len(batch) != 5 {
+		t.Fatalf("batch length = %d", len(batch))
+	}
+	for i := range batch {
+		if batch[i].Dist(Featurize(pix[i], 16, 16)) != 0 {
+			t.Fatal("batch does not match single calls")
+		}
+	}
+}
+
+func TestMedianOf(t *testing.T) {
+	if medianOf(nil, 7) != 7 {
+		t.Error("empty fallback wrong")
+	}
+	if medianOf([]float64{3, 1, 2}, 0) != 2 {
+		t.Error("median wrong")
+	}
+}

@@ -1,0 +1,48 @@
+package videodrift
+
+import "sync"
+
+// SafeMonitor wraps a Monitor with a mutex so multiple goroutines (e.g.
+// per-camera decoders feeding one logical stream) can share it. The
+// underlying pipeline is inherently sequential — the martingale's state
+// depends on frame order — so SafeMonitor serializes Process calls rather
+// than parallelizing them; use one Monitor per stream for throughput.
+type SafeMonitor struct {
+	mu  sync.Mutex
+	mon *Monitor
+}
+
+// NewSafeMonitor builds a mutex-guarded monitor (see NewMonitor).
+func NewSafeMonitor(models []*Model, labeler Labeler, opts Options) *SafeMonitor {
+	return &SafeMonitor{mon: NewMonitor(models, labeler, opts)}
+}
+
+// Process runs one frame through the monitor. Safe for concurrent use;
+// frames are folded in arrival order under the lock.
+func (s *SafeMonitor) Process(f Frame) Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mon.Process(f)
+}
+
+// Current returns the name of the deployed model.
+func (s *SafeMonitor) Current() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mon.Current()
+}
+
+// Models returns the names of all provisioned models.
+func (s *SafeMonitor) Models() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mon.Models()
+}
+
+// Stats summarizes the monitor's activity so far.
+func (s *SafeMonitor) Stats() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mon.Stats()
+}
+

@@ -1,0 +1,40 @@
+package videodrift
+
+import (
+	"sync"
+	"testing"
+
+	"videodrift/internal/vidsim"
+)
+
+func TestSafeMonitorConcurrentUse(t *testing.T) {
+	opts := Defaults(facadeDim, facadeClasses)
+	day := BuildModel("day", facadeFrames(facadeCond(vidsim.Day()), 200, 21), facadeLabeler, opts)
+	night := BuildModel("night", facadeFrames(facadeCond(vidsim.Night()), 200, 22), facadeLabeler, opts)
+	mon := NewSafeMonitor([]*Model{day, night}, facadeLabeler, opts)
+
+	frames := facadeFrames(facadeCond(vidsim.Day()), 400, 23)
+	var wg sync.WaitGroup
+	const workers = 4
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(frames); i += workers {
+				mon.Process(frames[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := mon.Stats()
+	if st.Frames != len(frames) {
+		t.Errorf("Frames = %d, want %d", st.Frames, len(frames))
+	}
+	if st.ModelInvocations != st.Frames {
+		t.Errorf("invocations %d != frames %d", st.ModelInvocations, st.Frames)
+	}
+	if mon.Current() == "" || len(mon.Models()) < 2 {
+		t.Error("accessors broken under concurrency")
+	}
+}

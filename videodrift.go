@@ -1,0 +1,171 @@
+// Package videodrift is a pure-Go reproduction of "Coping With Data Drift
+// in Online Video Analytics" (Xarchakos & Koudas, EDBT 2025): lightweight
+// conformal-martingale drift detection for video streams (the Drift
+// Inspector), model selection after a drift (MSBI and MSBO), and the
+// drift-aware end-to-end processing pipeline that ties them together.
+//
+// The package is a thin facade over the implementation in internal/…; it
+// exposes the vocabulary a stream-processing application needs:
+//
+//	models := []*videodrift.Model{
+//	    videodrift.BuildModel("day", dayFrames, labeler, videodrift.Defaults(frameDim, numClasses)),
+//	    videodrift.BuildModel("night", nightFrames, labeler, videodrift.Defaults(frameDim, numClasses)),
+//	}
+//	mon := videodrift.NewMonitor(models, labeler, videodrift.Defaults(frameDim, numClasses))
+//	for frame := range stream {
+//	    ev := mon.Process(frame)
+//	    use(ev.Prediction)
+//	    if ev.SwitchedTo != "" { log.Printf("deployed %s", ev.SwitchedTo) }
+//	}
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured evaluation.
+package videodrift
+
+import (
+	"videodrift/internal/core"
+	"videodrift/internal/dataset"
+	"videodrift/internal/query"
+	"videodrift/internal/stats"
+	"videodrift/internal/vidsim"
+)
+
+// Frame is one video frame: flattened grayscale pixels plus scene
+// metadata. Applications adapting real video should fill W, H and Pixels
+// (row-major, values in [0,1]).
+type Frame = vidsim.Frame
+
+// Condition parameterizes a synthetic scene distribution (used by the
+// bundled stream simulator).
+type Condition = vidsim.Condition
+
+// Dataset is a scripted evaluation stream with known drift points.
+type Dataset = dataset.Dataset
+
+// Model is a provisioned model entry: the query classifier plus
+// everything the drift machinery needs (reference sample, calibration
+// scores, uncertainty ensemble).
+type Model = core.ModelEntry
+
+// Labeler annotates a frame with its query label (e.g. a car-count
+// bucket); the bundled Annotator wraps the detector oracle.
+type Labeler = core.Labeler
+
+// Annotator derives query labels from the built-in object detector (the
+// Mask R-CNN stand-in).
+type Annotator = query.Annotator
+
+// QueryKind selects which of the paper's two queries a model answers.
+type QueryKind = query.Kind
+
+// The paper's two queries.
+const (
+	CountQuery   = query.Count
+	SpatialQuery = query.Spatial
+)
+
+// Event reports what the monitor did with one frame.
+type Event = core.Outcome
+
+// Metrics summarizes a monitor's activity (frames, invocations, drifts,
+// selections, trainings).
+type Metrics = core.Metrics
+
+// Selector picks the model-selection algorithm the monitor runs on a
+// drift (set Options.Pipeline.Selector).
+type Selector = core.SelectorKind
+
+// The paper's two model-selection algorithms: MSBO (output/uncertainty
+// based, needs labels for the post-drift window) and MSBI (input based,
+// fully unsupervised).
+const (
+	MSBO = core.SelectorMSBO
+	MSBI = core.SelectorMSBI
+)
+
+// Options bundles the tunables of provisioning and monitoring. The zero
+// value is not usable; start from Defaults.
+type Options struct {
+	Provision core.ProvisionConfig
+	Pipeline  core.PipelineConfig
+}
+
+// Defaults returns paper-parameter options for frames with frameDim
+// pixels and query labels in [0, numClasses).
+func Defaults(frameDim, numClasses int) Options {
+	return Options{
+		Provision: core.DefaultProvisionConfig(frameDim, numClasses),
+		Pipeline:  core.DefaultPipelineConfig(frameDim, numClasses),
+	}
+}
+
+// BuildModel trains a model entry from labeled training frames: the query
+// classifier, the MSBO uncertainty ensemble, and the conformal reference
+// sample and calibration the Drift Inspector monitors against. A nil
+// labeler builds an unsupervised entry (drift detection and MSBI only).
+func BuildModel(name string, frames []Frame, labeler Labeler, opts Options) *Model {
+	return core.Provision(name, frames, labeler, opts.Provision)
+}
+
+// Monitor is the drift-aware processing loop of the paper's Figure 1.
+type Monitor struct {
+	pipe *core.Pipeline
+}
+
+// NewMonitor deploys the first model and starts monitoring. The labeler
+// is consulted when MSBO evaluates a post-drift window and when a novel
+// distribution forces a new model to be trained.
+func NewMonitor(models []*Model, labeler Labeler, opts Options) *Monitor {
+	reg := core.NewRegistry(models...)
+	opts.Pipeline.Provision = opts.Provision
+	return &Monitor{pipe: core.NewPipeline(reg, labeler, opts.Pipeline)}
+}
+
+// Process runs one frame through the deployed model and the drift
+// machinery.
+func (m *Monitor) Process(f Frame) Event { return m.pipe.Process(f) }
+
+// Current returns the name of the deployed model.
+func (m *Monitor) Current() string { return m.pipe.Current().Name }
+
+// Models returns the names of all provisioned models (including any
+// trained during monitoring).
+func (m *Monitor) Models() []string { return m.pipe.Registry().Names() }
+
+// Stats summarizes the monitor's activity so far.
+func (m *Monitor) Stats() core.Metrics { return m.pipe.Metrics() }
+
+// Detector is a standalone Drift Inspector for one model — use it when
+// only drift detection is needed.
+type Detector struct {
+	di *core.DriftInspector
+}
+
+// NewDetector builds a Drift Inspector monitoring the distribution
+// captured by model, with the paper's default parameters.
+func NewDetector(model *Model, seed int64) *Detector {
+	return &Detector{di: core.NewDriftInspector(model, core.DefaultDIConfig(), stats.NewRNG(seed))}
+}
+
+// Observe folds one frame into the detector and reports whether a drift
+// is declared.
+func (d *Detector) Observe(f Frame) bool { return d.di.ObserveFrame(f) }
+
+// Reset clears the detector's state (after handling a drift).
+func (d *Detector) Reset() { d.di.Reset() }
+
+// NewAnnotator returns the built-in annotation oracle with count labels
+// capped at maxCount.
+func NewAnnotator(maxCount int) *Annotator { return query.NewAnnotator(maxCount) }
+
+// The bundled dataset analogs of the paper's evaluation streams.
+var (
+	// BDD builds the Berkeley-Deep-Drive analog (night/rain/snow/day).
+	BDD = dataset.BDD
+	// Detrac builds the 5-camera-angle traffic analog.
+	Detrac = dataset.Detrac
+	// Tokyo builds the 3-angle intersection analog.
+	Tokyo = dataset.Tokyo
+	// SlowDrift builds the gradual day→night live-camera analog.
+	SlowDrift = dataset.SlowDrift
+)

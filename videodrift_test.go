@@ -1,0 +1,96 @@
+package videodrift
+
+import (
+	"testing"
+
+	"videodrift/internal/vidsim"
+)
+
+const (
+	facadeDim     = 16 * 16
+	facadeClasses = 8
+)
+
+func facadeLabeler(f Frame) int {
+	c := f.CountClass(vidsim.Car)
+	if c >= facadeClasses {
+		c = facadeClasses - 1
+	}
+	return c
+}
+
+func facadeCond(base Condition) Condition {
+	base.CarRate, base.BusRate = 5.5, 0
+	return base
+}
+
+func facadeFrames(c Condition, n int, seed int64) []Frame {
+	return vidsim.GenerateTraining(c, 16, 16, n, seed)
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	opts := Defaults(facadeDim, facadeClasses)
+	day := BuildModel("day", facadeFrames(facadeCond(vidsim.Day()), 200, 1), facadeLabeler, opts)
+	night := BuildModel("night", facadeFrames(facadeCond(vidsim.Night()), 200, 2), facadeLabeler, opts)
+
+	mon := NewMonitor([]*Model{day, night}, facadeLabeler, opts)
+	if mon.Current() != "day" {
+		t.Fatalf("initial model = %q", mon.Current())
+	}
+	for _, f := range vidsim.GenerateTrainingStride(facadeCond(vidsim.Day()), 16, 16, 150, 1, 3) {
+		mon.Process(f)
+	}
+	switched := false
+	for _, f := range vidsim.GenerateTrainingStride(facadeCond(vidsim.Night()), 16, 16, 250, 1, 4) {
+		if ev := mon.Process(f); ev.SwitchedTo == "night" {
+			switched = true
+			break
+		}
+	}
+	if !switched {
+		t.Fatal("monitor never deployed the night model")
+	}
+	st := mon.Stats()
+	if st.DriftsDetected < 1 || st.ModelInvocations != st.Frames {
+		t.Errorf("stats = %+v", st)
+	}
+	if len(mon.Models()) < 2 {
+		t.Errorf("models = %v", mon.Models())
+	}
+}
+
+func TestFacadeDetector(t *testing.T) {
+	opts := Defaults(facadeDim, facadeClasses)
+	day := BuildModel("day", facadeFrames(facadeCond(vidsim.Day()), 200, 5), nil, opts)
+	det := NewDetector(day, 7)
+	for i, f := range facadeFrames(facadeCond(vidsim.Day()), 300, 6) {
+		if det.Observe(f) {
+			t.Fatalf("false drift at frame %d", i)
+		}
+	}
+	fired := false
+	for _, f := range facadeFrames(facadeCond(vidsim.Night()), 120, 7) {
+		if det.Observe(f) {
+			fired = true
+			break
+		}
+	}
+	if !fired {
+		t.Fatal("detector missed the day→night drift")
+	}
+	det.Reset()
+}
+
+func TestFacadeDatasetsAndAnnotator(t *testing.T) {
+	ds := BDD(0.005)
+	if ds.NumDrifts() != 4 {
+		t.Errorf("BDD drifts = %d", ds.NumDrifts())
+	}
+	ann := NewAnnotator(30)
+	frames := ds.TrainingFrames(0, 5)
+	for _, f := range frames {
+		if l := ann.CountLabel(f); l < 0 {
+			t.Errorf("label = %d", l)
+		}
+	}
+}
