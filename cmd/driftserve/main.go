@@ -1,0 +1,181 @@
+// Command driftserve runs the drift-aware monitor over a simulated video
+// stream while serving live telemetry over HTTP — the operational view
+// of the paper's Figure 1: watch the martingale climb, the drift fire,
+// the selector resolve and the per-stage latency distribution move, all
+// without stopping the stream.
+//
+// Endpoints:
+//
+//	/metrics   Prometheus text-exposition format (counters, gauges,
+//	           per-stage latency quantiles)
+//	/snapshot  the same state as one indented JSON document
+//	/events    the retained structured events (drifts, selections,
+//	           trainings, deployments), optionally ?kind=drift_declared
+//	/healthz   liveness plus frames-processed progress
+//	/debug/pprof/…  the standard net/http/pprof profiles
+//
+// Usage:
+//
+//	driftserve [-addr :9090] [-dataset bdd|detrac|tokyo|slow] [-scale 0.02]
+//	           [-selector msbo|msbi] [-train 300] [-fps 240] [-frames 0]
+//	           [-ring 4096] [-perframe] [-v]
+//
+// The stream loops forever (a fresh seed per lap keeps drifts coming)
+// unless -frames bounds it; -fps 0 runs unthrottled.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"videodrift/internal/core"
+	"videodrift/internal/dataset"
+	"videodrift/internal/experiments"
+	"videodrift/internal/query"
+	"videodrift/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", ":9090", "HTTP listen address")
+	dsName := flag.String("dataset", "bdd", "stream to monitor: bdd, detrac, tokyo, slow")
+	scale := flag.Float64("scale", 0.02, "dataset stream scale (1.0 = paper sizes)")
+	selector := flag.String("selector", "msbo", "model selector: msbo or msbi")
+	train := flag.Int("train", 300, "training frames per provisioned condition")
+	fps := flag.Float64("fps", 240, "stream rate limit in frames/second (0 = unthrottled)")
+	frames := flag.Int("frames", 0, "stop the stream after this many frames (0 = loop forever)")
+	ring := flag.Int("ring", 4096, "telemetry event-ring capacity")
+	perFrame := flag.Bool("perframe", false, "also ring per-frame FrameObserved/MartingaleUpdate events")
+	verbose := flag.Bool("v", false, "log drift/selection events to stderr as they happen")
+	flag.Parse()
+
+	var ds *dataset.Dataset
+	switch *dsName {
+	case "bdd":
+		ds = dataset.BDD(*scale)
+	case "detrac":
+		ds = dataset.Detrac(*scale)
+	case "tokyo":
+		ds = dataset.Tokyo(*scale)
+	case "slow":
+		ds = dataset.SlowDrift(*scale)
+	default:
+		log.Fatalf("unknown dataset %q", *dsName)
+	}
+	sel := core.SelectorMSBO
+	if *selector == "msbi" {
+		sel = core.SelectorMSBI
+	}
+
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.TrainFrames = *train
+
+	fmt.Fprintf(os.Stderr, "provisioning %d models for %s (%d training frames each)...\n",
+		len(ds.Sequences), ds.Name, cfg.TrainFrames)
+	env := experiments.BuildEnv(ds, cfg, query.Count)
+
+	tracer := telemetry.New(telemetry.Config{RingSize: *ring, PerFrame: *perFrame})
+	pcfg := env.PipelineConfig(sel)
+	pcfg.Tracer = tracer
+	pipe := core.NewPipeline(env.Registry, env.Labeler(), pcfg)
+
+	var processed atomic.Int64
+	var done atomic.Bool
+	go func() {
+		defer done.Store(true)
+		var throttle *time.Ticker
+		if *fps > 0 {
+			throttle = time.NewTicker(time.Duration(float64(time.Second) / *fps))
+			defer throttle.Stop()
+		}
+		for lap := 0; ; lap++ {
+			lapDS := *ds
+			lapDS.Seed = ds.Seed + int64(lap)*7907
+			stream := lapDS.Stream()
+			if *verbose {
+				fmt.Fprintf(os.Stderr, "lap %d: %d frames, ground-truth drifts at %v\n",
+					lap, stream.TotalLength(), stream.DriftPoints())
+			}
+			for {
+				f, ok := stream.Next()
+				if !ok {
+					break
+				}
+				out := pipe.Process(f)
+				n := processed.Add(1)
+				if *verbose && out.Drift {
+					fmt.Fprintf(os.Stderr, "frame %d [%s]: drift declared\n", n-1, f.Condition)
+				}
+				if *verbose && out.SwitchedTo != "" {
+					fmt.Fprintf(os.Stderr, "frame %d [%s]: deployed %q (trained=%v)\n", n-1, f.Condition, out.SwitchedTo, out.TrainedNew)
+				}
+				if *frames > 0 && n >= int64(*frames) {
+					fmt.Fprintf(os.Stderr, "frame budget reached (%d); stream stopped, still serving\n", n)
+					return
+				}
+				if throttle != nil {
+					<-throttle.C
+				}
+			}
+		}
+	}()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := tracer.WritePrometheusTo(w); err != nil {
+			log.Printf("/metrics: %v", err)
+		}
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := tracer.WriteJSONTo(w); err != nil {
+			log.Printf("/snapshot: %v", err)
+		}
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		events := tracer.Events()
+		if kind := r.URL.Query().Get("kind"); kind != "" {
+			filtered := events[:0:0]
+			for _, e := range events {
+				if e.Kind.String() == kind {
+					filtered = append(filtered, e)
+				}
+			}
+			events = filtered
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]interface{}{"events": events}); err != nil {
+			log.Printf("/events: %v", err)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"status\":\"ok\",\"streaming\":%v,\"frames\":%d}\n", !done.Load(), processed.Load())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintf(w, "driftserve: %s stream, %s selector\nendpoints: /metrics /snapshot /events /healthz /debug/pprof/\n",
+			ds.Name, sel)
+	})
+
+	fmt.Fprintf(os.Stderr, "serving telemetry on %s (endpoints: /metrics /snapshot /events /healthz /debug/pprof/)\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"time"
+
 	"videodrift/internal/conformal"
 	"videodrift/internal/stats"
+	"videodrift/internal/telemetry"
 	"videodrift/internal/tensor"
 	"videodrift/internal/vidsim"
 	"videodrift/internal/vision"
@@ -45,6 +48,7 @@ type DriftInspector struct {
 	mart    *conformal.CUSUM
 	test    conformal.DriftTest
 	rng     *stats.RNG
+	tracer  *telemetry.Tracer
 
 	seen    int     // frames offered, including skipped ones
 	sampled int     // frames actually folded into the martingale
@@ -76,6 +80,10 @@ func NewDriftInspector(entry *ModelEntry, cfg DIConfig, rng *stats.RNG) *DriftIn
 // Entry returns the model entry the inspector monitors.
 func (di *DriftInspector) Entry() *ModelEntry { return di.entry }
 
+// SetTracer attaches a telemetry tracer. A nil tracer (the default)
+// keeps the untraced fast path: one pointer compare per sampled frame.
+func (di *DriftInspector) SetTracer(tr *telemetry.Tracer) { di.tracer = tr }
+
 // Observe offers one frame's pixels to the monitor and reports whether a
 // drift is declared. Only every SampleEvery-th frame is folded into the
 // martingale (Algorithm 1 end to end: non-conformity score, p-value with
@@ -87,11 +95,40 @@ func (di *DriftInspector) Observe(pixels tensor.Vector) bool {
 		return false
 	}
 	di.sampled++
-	a := di.measure.Score(vision.Featurize(pixels, di.entry.W, di.entry.H), di.entry.SampleFeats)
+	tr := di.tracer
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
+	feat := vision.Featurize(pixels, di.entry.W, di.entry.H)
+	if tr != nil {
+		t1 := time.Now()
+		tr.ObserveStage(telemetry.StageFeaturize, t1.Sub(t0))
+		t0 = t1
+	}
+	a := di.measure.Score(feat, di.entry.SampleFeats)
+	if tr != nil {
+		t1 := time.Now()
+		tr.ObserveStage(telemetry.StageKNNScore, t1.Sub(t0))
+		t0 = t1
+	}
 	p := di.entry.Calib.PValue(a, di.rng.Float64())
+	if tr != nil {
+		t1 := time.Now()
+		tr.ObserveStage(telemetry.StagePValue, t1.Sub(t0))
+		t0 = t1
+	}
 	di.pSum += p
 	di.mart.Update(p)
-	return di.test.Check(di.mart)
+	fired := di.test.Check(di.mart)
+	if tr != nil {
+		tr.ObserveStage(telemetry.StageMartingale, time.Since(t0))
+		tr.MartingaleUpdate(p, di.mart.Value(), di.mart.WindowDelta(), di.MeanP())
+		if fired {
+			tr.DriftDeclared(di.entry.Name, di.seen, di.sampled, di.mart.Value(), di.mart.WindowDelta(), di.MeanP())
+		}
+	}
+	return fired
 }
 
 // ObserveFrame is Observe on a vidsim frame.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"videodrift/internal/stats"
+	"videodrift/internal/telemetry"
 	"videodrift/internal/vidsim"
 )
 
@@ -39,6 +40,11 @@ type MSBIResult struct {
 	Selected    *ModelEntry // nil when a new model must be trained
 	FramesUsed  int
 	Escalations int // tie-break rounds (r increases)
+	// Candidates records every model's first-round outcome at the base
+	// significance level: whether its i.i.d. hypothesis was rejected,
+	// its final martingale value and its mean conformal p-value on the
+	// window (the telemetry payload of a SelectionResolved event).
+	Candidates []telemetry.Candidate
 }
 
 // MSBI is Algorithm 2: it replays the post-drift window through a fresh
@@ -83,6 +89,14 @@ func MSBI(window []vidsim.Frame, entries []*ModelEntry, cfg MSBIConfig, rng *sta
 			if mp := di.MeanP(); mp > bestMeanP {
 				bestMeanP = mp
 				bestEntry = e
+			}
+			if res.Escalations == 0 {
+				res.Candidates = append(res.Candidates, telemetry.Candidate{
+					Model:      e.Name,
+					Rejected:   drifted,
+					Martingale: di.MartingaleValue(),
+					MeanP:      di.MeanP(),
+				})
 			}
 			if !drifted {
 				survivors = append(survivors, outcome{e, di.MartingaleValue(), di.MeanP()})

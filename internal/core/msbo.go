@@ -5,6 +5,7 @@ import (
 
 	"videodrift/internal/classifier"
 	"videodrift/internal/stats"
+	"videodrift/internal/telemetry"
 )
 
 // MSBOConfig carries the Model-Selection-Based-on-Output parameters
@@ -83,6 +84,10 @@ type MSBOResult struct {
 	Briers     map[string]float64
 	BestBrier  float64
 	FramesUsed int
+	// Candidates records every scored ensemble's Brier on the window in
+	// registry order; Rejected marks the best candidate when it failed
+	// the calibrated deployment threshold (the train-new-model path).
+	Candidates []telemetry.Candidate
 }
 
 // MSBO is Algorithm 3: it scores every provisioned ensemble's predictive
@@ -109,6 +114,7 @@ func MSBO(window []classifier.Sample, entries []*ModelEntry, th MSBOThresholds, 
 		}
 		b := e.Ensemble.AvgBrier(frames)
 		res.Briers[e.Name] = b
+		res.Candidates = append(res.Candidates, telemetry.Candidate{Model: e.Name, Brier: b})
 		if b < res.BestBrier {
 			res.BestBrier = b
 			best = e
@@ -123,6 +129,12 @@ func MSBO(window []classifier.Sample, entries []*ModelEntry, th MSBOThresholds, 
 	}
 	if res.BestBrier <= limit {
 		res.Selected = best
+	} else {
+		for i := range res.Candidates {
+			if res.Candidates[i].Model == best.Name {
+				res.Candidates[i].Rejected = true
+			}
+		}
 	}
 	return res
 }

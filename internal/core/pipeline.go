@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"videodrift/internal/classifier"
 	"videodrift/internal/stats"
+	"videodrift/internal/telemetry"
 	"videodrift/internal/vidsim"
 )
 
@@ -41,6 +43,10 @@ type PipelineConfig struct {
 	NewModelFrames int
 	// Seed drives the pipeline's tie-break randomness.
 	Seed int64
+	// Tracer receives structured events and stage latencies. Nil (the
+	// default) disables tracing; the per-frame cost is then a pointer
+	// compare per instrumented call site.
+	Tracer *telemetry.Tracer
 }
 
 // DefaultPipelineConfig returns paper-parameter defaults scaled to the
@@ -76,13 +82,18 @@ type Outcome struct {
 }
 
 // Metrics accumulates pipeline statistics for the end-to-end evaluation
-// (§6.3).
+// (§6.3). SelectingFrames and TrainingFrames count the frames spent in
+// the post-drift recovery states, so time-to-recover after a drift (the
+// paper's §6.2 lag metric) is computable from metrics alone:
+// recovery frames = SelectingFrames + TrainingFrames.
 type Metrics struct {
 	Frames           int
 	ModelInvocations int
 	DriftsDetected   int
 	ModelsSelected   int
 	ModelsTrained    int
+	SelectingFrames  int // frames spent collecting a selection window
+	TrainingFrames   int // frames spent collecting new-model training data
 }
 
 // Pipeline is the operational architecture of Figure 1: frames flow
@@ -139,11 +150,17 @@ func (p *Pipeline) Metrics() Metrics { return p.metrics }
 // distributions force new models).
 func (p *Pipeline) Registry() *Registry { return p.reg }
 
+// Tracer returns the pipeline's telemetry tracer (nil when tracing is
+// off).
+func (p *Pipeline) Tracer() *telemetry.Tracer { return p.cfg.Tracer }
+
 func (p *Pipeline) deploy(e *ModelEntry) {
 	p.current = e
 	p.di = NewDriftInspector(e, p.cfg.DI, p.rng.Split())
+	p.di.SetTracer(p.cfg.Tracer)
 	p.state = stateMonitoring
 	p.buffer = nil
+	p.cfg.Tracer.ModelDeployed(e.Name)
 }
 
 // selectionWindow returns how many frames the active selector needs.
@@ -159,11 +176,19 @@ func (p *Pipeline) selectionWindow() int {
 // stream keeps being served during selection and training, as in the
 // paper's end-to-end evaluation).
 func (p *Pipeline) Process(f vidsim.Frame) Outcome {
+	tr := p.cfg.Tracer
 	p.metrics.Frames++
 	p.metrics.ModelInvocations++
+	tr.FrameObserved(telemetryState(p.state))
 	out := Outcome{Invocations: 1}
 	if p.current.Classifier != nil {
-		out.Prediction = p.current.Predict(f)
+		if tr != nil {
+			t0 := time.Now()
+			out.Prediction = p.current.Predict(f)
+			tr.ObserveStage(telemetry.StageClassify, time.Since(t0))
+		} else {
+			out.Prediction = p.current.Predict(f)
+		}
 	}
 
 	switch p.state {
@@ -173,12 +198,26 @@ func (p *Pipeline) Process(f vidsim.Frame) Outcome {
 			out.Drift = true
 			p.state = stateSelecting
 			p.buffer = p.buffer[:0]
+			tr.SelectionStarted(p.cfg.Selector.String())
 		}
 
 	case stateSelecting:
+		p.metrics.SelectingFrames++
 		p.buffer = append(p.buffer, f)
 		if len(p.buffer) >= p.selectionWindow() {
-			selected := p.runSelector()
+			var t0 time.Time
+			if tr != nil {
+				t0 = time.Now()
+			}
+			selected, candidates, used := p.runSelector()
+			if tr != nil {
+				tr.ObserveStage(telemetry.StageSelect, time.Since(t0))
+				name := ""
+				if selected != nil {
+					name = selected.Name
+				}
+				tr.SelectionResolved(p.cfg.Selector.String(), name, used, candidates)
+			}
 			if selected != nil {
 				p.metrics.ModelsSelected++
 				p.deploy(selected)
@@ -189,9 +228,18 @@ func (p *Pipeline) Process(f vidsim.Frame) Outcome {
 		}
 
 	case stateTraining:
+		p.metrics.TrainingFrames++
 		p.buffer = append(p.buffer, f)
 		if len(p.buffer) >= p.cfg.NewModelFrames {
+			var t0 time.Time
+			if tr != nil {
+				t0 = time.Now()
+			}
 			e := p.trainNewModel()
+			if tr != nil {
+				tr.ObserveStage(telemetry.StageTrain, time.Since(t0))
+			}
+			tr.ModelTrained(e.Name, len(p.buffer))
 			p.metrics.ModelsTrained++
 			p.reg.Add(e)
 			p.th = CalibrateMSBO(p.reg.Entries())
@@ -203,17 +251,32 @@ func (p *Pipeline) Process(f vidsim.Frame) Outcome {
 	return out
 }
 
+// telemetryState maps the pipeline state onto the telemetry taxonomy.
+func telemetryState(s pipelineState) telemetry.State {
+	switch s {
+	case stateSelecting:
+		return telemetry.StateSelecting
+	case stateTraining:
+		return telemetry.StateTraining
+	default:
+		return telemetry.StateMonitoring
+	}
+}
+
 // runSelector executes the configured model-selection algorithm on the
-// buffered post-drift window.
-func (p *Pipeline) runSelector() *ModelEntry {
+// buffered post-drift window, returning the winner (nil = train new),
+// the per-candidate outcomes and the number of window frames consumed.
+func (p *Pipeline) runSelector() (*ModelEntry, []telemetry.Candidate, int) {
 	if p.cfg.Selector == SelectorMSBO {
 		labeled := make([]classifier.Sample, len(p.buffer))
 		for i, f := range p.buffer {
 			labeled[i] = p.current.QuerySample(f, p.labeler(f))
 		}
-		return MSBO(labeled, p.reg.Entries(), p.th, p.cfg.MSBO).Selected
+		res := MSBO(labeled, p.reg.Entries(), p.th, p.cfg.MSBO)
+		return res.Selected, res.Candidates, res.FramesUsed
 	}
-	return MSBI(p.buffer, p.reg.Entries(), p.cfg.MSBI, p.rng.Split()).Selected
+	res := MSBI(p.buffer, p.reg.Entries(), p.cfg.MSBI, p.rng.Split())
+	return res.Selected, res.Candidates, res.FramesUsed
 }
 
 // trainNewModel provisions a model from the buffered post-drift frames

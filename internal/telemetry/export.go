@@ -1,0 +1,181 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// StageSnapshot is one stage's frozen latency statistics, in seconds.
+type StageSnapshot struct {
+	Stage      string  `json:"stage"`
+	Count      uint64  `json:"count"`
+	SumSeconds float64 `json:"sum_seconds"`
+	MaxSeconds float64 `json:"max_seconds"`
+	P50Seconds float64 `json:"p50_seconds"`
+	P95Seconds float64 `json:"p95_seconds"`
+	P99Seconds float64 `json:"p99_seconds"`
+}
+
+// Snapshot is a consistent point-in-time copy of everything a Tracer
+// knows: counters, gauges, per-stage latency statistics and the retained
+// event ring. It is self-contained — exporting a Snapshot needs no
+// further access to the Tracer.
+type Snapshot struct {
+	TimeUnixNano int64  `json:"time_unix_nano"`
+	Model        string `json:"model,omitempty"`
+
+	Frames            uint64            `json:"frames"`
+	FramesByState     map[string]uint64 `json:"frames_by_state,omitempty"`
+	MartingaleUpdates uint64            `json:"martingale_updates"`
+	Drifts            uint64            `json:"drifts"`
+	SelectionsStarted uint64            `json:"selections_started"`
+	Selections        uint64            `json:"selections_resolved"`
+	ModelsTrained     uint64            `json:"models_trained"`
+	Deployments       uint64            `json:"model_deployments"`
+
+	Martingale  float64 `json:"martingale"`
+	WindowDelta float64 `json:"window_delta"`
+	MeanP       float64 `json:"mean_p"`
+
+	Stages []StageSnapshot `json:"stages,omitempty"`
+	Events []Event         `json:"events,omitempty"`
+}
+
+// Snapshot freezes the tracer's state. A nil tracer yields a zero
+// snapshot.
+func (t *Tracer) Snapshot() Snapshot {
+	if t == nil {
+		return Snapshot{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	s := Snapshot{
+		TimeUnixNano:      t.now().UnixNano(),
+		Model:             t.model,
+		Frames:            t.counts[KindFrameObserved],
+		MartingaleUpdates: t.counts[KindMartingaleUpdate],
+		Drifts:            t.counts[KindDriftDeclared],
+		SelectionsStarted: t.counts[KindSelectionStarted],
+		Selections:        t.counts[KindSelectionResolved],
+		ModelsTrained:     t.counts[KindModelTrained],
+		Deployments:       t.counts[KindModelDeployed],
+		Martingale:        t.martingale,
+		WindowDelta:       t.windowDelta,
+		MeanP:             t.meanP,
+	}
+	s.FramesByState = make(map[string]uint64, stateCount)
+	for st := State(0); st < stateCount; st++ {
+		s.FramesByState[st.String()] = t.stateFrames[st]
+	}
+	for st := Stage(0); st < stageCount; st++ {
+		if t.stages[st].Count() == 0 {
+			continue
+		}
+		s.Stages = append(s.Stages, t.stages[st].snapshot(st.String()))
+	}
+	s.Events = make([]Event, t.n)
+	start := (t.head - t.n + len(t.ring)) % len(t.ring)
+	for i := 0; i < t.n; i++ {
+		s.Events[i] = t.ring[(start+i)%len(t.ring)]
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// promFloat renders a float the way Prometheus expects.
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WritePrometheus writes the snapshot in Prometheus text-exposition
+// format (version 0.0.4). Stage latencies are emitted as a summary
+// family with p50/p95/p99 quantile series plus _sum and _count; the
+// exact per-stage maximum gets its own gauge family.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	var err error
+	p := func(format string, args ...interface{}) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+
+	p("# HELP videodrift_frames_total Frames processed by the instrumented component.\n")
+	p("# TYPE videodrift_frames_total counter\n")
+	p("videodrift_frames_total %d\n", s.Frames)
+
+	p("# HELP videodrift_frames_state_total Frames processed, by pipeline state.\n")
+	p("# TYPE videodrift_frames_state_total counter\n")
+	for st := State(0); st < stateCount; st++ {
+		p("videodrift_frames_state_total{state=%q} %d\n", st.String(), s.FramesByState[st.String()])
+	}
+
+	p("# HELP videodrift_martingale_updates_total Sampled frames folded into the conformal martingale.\n")
+	p("# TYPE videodrift_martingale_updates_total counter\n")
+	p("videodrift_martingale_updates_total %d\n", s.MartingaleUpdates)
+
+	p("# HELP videodrift_drifts_total Drifts declared by the Drift Inspector.\n")
+	p("# TYPE videodrift_drifts_total counter\n")
+	p("videodrift_drifts_total %d\n", s.Drifts)
+
+	p("# HELP videodrift_selections_total Model-selection runs resolved after a drift.\n")
+	p("# TYPE videodrift_selections_total counter\n")
+	p("videodrift_selections_total %d\n", s.Selections)
+
+	p("# HELP videodrift_models_trained_total Models trained mid-stream on novel distributions.\n")
+	p("# TYPE videodrift_models_trained_total counter\n")
+	p("videodrift_models_trained_total %d\n", s.ModelsTrained)
+
+	p("# HELP videodrift_model_deployments_total Model deployments (including the initial one).\n")
+	p("# TYPE videodrift_model_deployments_total counter\n")
+	p("videodrift_model_deployments_total %d\n", s.Deployments)
+
+	p("# HELP videodrift_martingale_value Current CUSUM martingale value S_l.\n")
+	p("# TYPE videodrift_martingale_value gauge\n")
+	p("videodrift_martingale_value %s\n", promFloat(s.Martingale))
+
+	p("# HELP videodrift_martingale_window_delta Current windowed martingale growth |S_l - S_l-W|.\n")
+	p("# TYPE videodrift_martingale_window_delta gauge\n")
+	p("videodrift_martingale_window_delta %s\n", promFloat(s.WindowDelta))
+
+	p("# HELP videodrift_mean_p_value Mean conformal p-value since the inspector's last reset.\n")
+	p("# TYPE videodrift_mean_p_value gauge\n")
+	p("videodrift_mean_p_value %s\n", promFloat(s.MeanP))
+
+	if s.Model != "" {
+		p("# HELP videodrift_deployed_model Currently deployed model (value is always 1).\n")
+		p("# TYPE videodrift_deployed_model gauge\n")
+		p("videodrift_deployed_model{model=%q} 1\n", s.Model)
+	}
+
+	if len(s.Stages) > 0 {
+		p("# HELP videodrift_stage_latency_seconds Per-stage latency quantiles (log-bucket interpolated).\n")
+		p("# TYPE videodrift_stage_latency_seconds summary\n")
+		for _, st := range s.Stages {
+			p("videodrift_stage_latency_seconds{stage=%q,quantile=\"0.5\"} %s\n", st.Stage, promFloat(st.P50Seconds))
+			p("videodrift_stage_latency_seconds{stage=%q,quantile=\"0.95\"} %s\n", st.Stage, promFloat(st.P95Seconds))
+			p("videodrift_stage_latency_seconds{stage=%q,quantile=\"0.99\"} %s\n", st.Stage, promFloat(st.P99Seconds))
+			p("videodrift_stage_latency_seconds_sum{stage=%q} %s\n", st.Stage, promFloat(st.SumSeconds))
+			p("videodrift_stage_latency_seconds_count{stage=%q} %d\n", st.Stage, st.Count)
+		}
+		p("# HELP videodrift_stage_latency_max_seconds Largest single observation per stage.\n")
+		p("# TYPE videodrift_stage_latency_max_seconds gauge\n")
+		for _, st := range s.Stages {
+			p("videodrift_stage_latency_max_seconds{stage=%q} %s\n", st.Stage, promFloat(st.MaxSeconds))
+		}
+	}
+	return err
+}
+
+// WriteJSONTo is a convenience: snapshot the tracer and write JSON.
+func (t *Tracer) WriteJSONTo(w io.Writer) error { return t.Snapshot().WriteJSON(w) }
+
+// WritePrometheusTo is a convenience: snapshot the tracer and write
+// Prometheus text format.
+func (t *Tracer) WritePrometheusTo(w io.Writer) error { return t.Snapshot().WritePrometheus(w) }

@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"time"
+)
+
+// histBuckets is the number of log buckets. Bucket 0 holds zero-duration
+// observations; bucket i (i ≥ 1) holds durations in [2^(i-1), 2^i)
+// nanoseconds. 40 buckets span 1 ns … ~9 min, far beyond any pipeline
+// stage.
+const histBuckets = 40
+
+// Histogram is a streaming log-bucketed latency histogram: powers-of-two
+// nanosecond buckets, an exact running sum and maximum, and interpolated
+// quantiles. Recording is allocation-free; a bucket index is one
+// bits.Len64. The zero value is ready to use. Histogram itself is not
+// synchronized — the owning Tracer serializes access.
+type Histogram struct {
+	counts [histBuckets]uint64
+	count  uint64
+	sum    uint64 // total nanoseconds
+	max    uint64 // largest single observation, nanoseconds
+}
+
+// bucketOf returns the bucket index for a nanosecond value.
+func bucketOf(ns uint64) int {
+	b := bits.Len64(ns) // 0 for ns==0; k for ns in [2^(k-1), 2^k)
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// bucketBounds returns the [lo, hi) nanosecond range of bucket i.
+func bucketBounds(i int) (lo, hi float64) {
+	if i == 0 {
+		return 0, 1
+	}
+	return math.Exp2(float64(i - 1)), math.Exp2(float64(i))
+}
+
+// Observe folds one duration into the histogram. Negative durations count
+// as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	h.counts[bucketOf(ns)]++
+	h.count++
+	h.sum += ns
+	if ns > h.max {
+		h.max = ns
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the exact total of all observations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum) }
+
+// Max returns the largest single observation.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
+
+// Quantile returns an estimate of the q-quantile (0 ≤ q ≤ 1) by linear
+// interpolation inside the covering log bucket; the estimate is therefore
+// within a factor of 2 of the exact order statistic. Quantile(1) returns
+// the exact maximum; an empty histogram returns 0.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return time.Duration(h.max)
+	}
+	if q < 0 {
+		q = 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo, hi := bucketBounds(i)
+			v := lo + (hi-lo)*float64(rank-cum)/float64(c)
+			if m := float64(h.max); v > m {
+				v = m
+			}
+			return time.Duration(v)
+		}
+		cum += c
+	}
+	return time.Duration(h.max)
+}
+
+// snapshot freezes the histogram into exported stage statistics.
+func (h *Histogram) snapshot(stage string) StageSnapshot {
+	return StageSnapshot{
+		Stage:      stage,
+		Count:      h.count,
+		SumSeconds: float64(h.sum) / 1e9,
+		MaxSeconds: float64(h.max) / 1e9,
+		P50Seconds: h.Quantile(0.50).Seconds(),
+		P95Seconds: h.Quantile(0.95).Seconds(),
+		P99Seconds: h.Quantile(0.99).Seconds(),
+	}
+}

@@ -1,0 +1,393 @@
+// Package telemetry is the repo's zero-dependency observability layer:
+// a ring-buffered structured event sink for the drift machinery's
+// decisions (drifts declared, selections resolved, models trained and
+// deployed), streaming log-bucketed latency histograms per pipeline
+// stage, and exporters emitting JSON and Prometheus text-exposition
+// format.
+//
+// The central type is *Tracer. Every method is safe on a nil receiver
+// and does nothing, so instrumented code holds a possibly-nil *Tracer
+// and calls it unconditionally — the untraced hot path pays one pointer
+// compare per call site. A non-nil Tracer is safe for concurrent use:
+// one goroutine can drive a pipeline while others snapshot or export.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Kind enumerates the structured event taxonomy.
+type Kind uint8
+
+// Event kinds, in pipeline order.
+const (
+	// KindFrameObserved is one frame entering the instrumented
+	// component (counted always; ringed only with Config.PerFrame).
+	KindFrameObserved Kind = iota
+	// KindMartingaleUpdate is one sampled frame folded into the
+	// conformal martingale (counted always; ringed only with PerFrame).
+	KindMartingaleUpdate
+	// KindDriftDeclared is the Drift Inspector (or ODIN-Detect)
+	// declaring a distribution change.
+	KindDriftDeclared
+	// KindSelectionStarted is the pipeline entering its
+	// selection-window collection state after a drift.
+	KindSelectionStarted
+	// KindSelectionResolved is a completed MSBI/MSBO run, with
+	// per-candidate outcomes.
+	KindSelectionResolved
+	// KindModelTrained is a new model provisioned from post-drift
+	// frames.
+	KindModelTrained
+	// KindModelDeployed is a model (selected or trained) becoming the
+	// serving model.
+	KindModelDeployed
+
+	kindCount
+)
+
+var kindNames = [kindCount]string{
+	"frame_observed",
+	"martingale_update",
+	"drift_declared",
+	"selection_started",
+	"selection_resolved",
+	"model_trained",
+	"model_deployed",
+}
+
+// String returns the event kind's snake_case name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// MarshalJSON encodes the kind as its name.
+func (k Kind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// UnmarshalJSON decodes a kind from its name, so exported snapshots and
+// event streams round-trip through JSON.
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	for i, n := range kindNames {
+		if n == name {
+			*k = Kind(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("telemetry: unknown event kind %q", name)
+}
+
+// State is the pipeline processing mode a frame was observed under.
+type State uint8
+
+// Pipeline states.
+const (
+	StateMonitoring State = iota
+	StateSelecting
+	StateTraining
+
+	stateCount
+)
+
+var stateNames = [stateCount]string{"monitoring", "selecting", "training"}
+
+// String returns the state name.
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Stage enumerates the instrumented pipeline stages whose latency is
+// tracked.
+type Stage uint8
+
+// Latency-tracked stages.
+const (
+	StageFeaturize  Stage = iota // drift-feature extraction per sampled frame
+	StageKNNScore                // kNN non-conformity score
+	StagePValue                  // conformal p-value lookup
+	StageMartingale              // betting-function update + threshold test
+	StageClassify                // deployed model's query prediction
+	StageSelect                  // one full MSBI/MSBO run
+	StageTrain                   // provisioning a new model mid-stream
+	StageODINDetect              // ODIN-Detect clustering per frame
+
+	stageCount
+)
+
+var stageNames = [stageCount]string{
+	"featurize",
+	"knn_score",
+	"p_value",
+	"martingale_update",
+	"classify",
+	"select",
+	"train",
+	"odin_detect",
+}
+
+// String returns the stage's snake_case name.
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return fmt.Sprintf("stage(%d)", int(s))
+}
+
+// Candidate is one model's outcome inside a selection event: MSBI
+// reports the i.i.d.-hypothesis rejection plus the final martingale
+// value and mean conformal p-value on the window; MSBO reports the
+// ensemble Brier score.
+type Candidate struct {
+	Model      string  `json:"model"`
+	Rejected   bool    `json:"rejected,omitempty"`
+	Martingale float64 `json:"martingale,omitempty"`
+	MeanP      float64 `json:"mean_p,omitempty"`
+	Brier      float64 `json:"brier,omitempty"`
+}
+
+// Event is one structured trace record. Fields beyond Seq, TimeUnixNano,
+// Kind and Frame are populated per kind (see the Kind constants).
+type Event struct {
+	Seq          uint64 `json:"seq"`
+	TimeUnixNano int64  `json:"time_unix_nano"`
+	Kind         Kind   `json:"kind"`
+	// Frame is the stream index of the frame the event belongs to
+	// (-1 for events before the first frame, e.g. the initial deploy).
+	Frame int `json:"frame"`
+
+	Model    string `json:"model,omitempty"`
+	Selector string `json:"selector,omitempty"`
+
+	// Drift / martingale fields. Lag is frames observed by the
+	// inspector since its last reset (≈ detection lag when the drift
+	// followed a deployment); Sampled is how many of those were folded
+	// into the martingale.
+	Lag         int     `json:"lag,omitempty"`
+	Sampled     int     `json:"sampled,omitempty"`
+	PValue      float64 `json:"p_value,omitempty"`
+	Martingale  float64 `json:"martingale,omitempty"`
+	WindowDelta float64 `json:"window_delta,omitempty"`
+	MeanP       float64 `json:"mean_p,omitempty"`
+
+	// Selection / training fields.
+	FramesUsed  int         `json:"frames_used,omitempty"`
+	TrainedNew  bool        `json:"trained_new,omitempty"`
+	TrainFrames int         `json:"train_frames,omitempty"`
+	Candidates  []Candidate `json:"candidates,omitempty"`
+}
+
+// Config parameterizes a Tracer. The zero value is usable.
+type Config struct {
+	// RingSize is how many events the ring retains (default 1024).
+	RingSize int
+	// PerFrame also records the per-frame FrameObserved and
+	// MartingaleUpdate events in the ring. Off by default: they are
+	// always *counted*, but ringing one event per frame would evict
+	// the rare, interesting events within a few seconds of stream.
+	PerFrame bool
+	// Now overrides the clock (tests); nil means time.Now.
+	Now func() time.Time
+}
+
+// Tracer collects events, counters, gauges and per-stage latency
+// histograms. All methods are nil-safe no-ops; a non-nil Tracer is safe
+// for concurrent use.
+type Tracer struct {
+	mu       sync.Mutex
+	now      func() time.Time
+	perFrame bool
+
+	seq  uint64
+	ring []Event
+	head int // next write position
+	n    int // live events in the ring
+
+	counts      [kindCount]uint64
+	stateFrames [stateCount]uint64
+	curFrame    int // last observed frame index; -1 before the stream
+
+	model       string // currently deployed model
+	martingale  float64
+	windowDelta float64
+	meanP       float64
+
+	stages [stageCount]Histogram
+}
+
+// New builds a Tracer.
+func New(cfg Config) *Tracer {
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = 1024
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Tracer{
+		now:      cfg.Now,
+		perFrame: cfg.PerFrame,
+		ring:     make([]Event, cfg.RingSize),
+		curFrame: -1,
+	}
+}
+
+// Enabled reports whether the tracer records anything (i.e. is non-nil).
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// emit stamps and counts an event; ring selects whether it is retained.
+// The caller holds t.mu.
+func (t *Tracer) emit(e Event, ring bool) {
+	t.seq++
+	e.Seq = t.seq
+	e.TimeUnixNano = t.now().UnixNano()
+	e.Frame = t.curFrame
+	t.counts[e.Kind]++
+	if ring {
+		t.ring[t.head] = e
+		t.head = (t.head + 1) % len(t.ring)
+		if t.n < len(t.ring) {
+			t.n++
+		}
+	}
+}
+
+// FrameObserved advances the tracer's frame counter and counts the frame
+// under the pipeline state it was processed in. Instrumented components
+// call it exactly once per frame, before any other event of that frame.
+func (t *Tracer) FrameObserved(state State) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.curFrame++
+	if int(state) < len(t.stateFrames) {
+		t.stateFrames[state]++
+	}
+	t.emit(Event{Kind: KindFrameObserved}, t.perFrame)
+	t.mu.Unlock()
+}
+
+// MartingaleUpdate records one sampled frame's conformal update and
+// refreshes the martingale gauges.
+func (t *Tracer) MartingaleUpdate(p, value, windowDelta, meanP float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.martingale, t.windowDelta, t.meanP = value, windowDelta, meanP
+	t.emit(Event{
+		Kind:        KindMartingaleUpdate,
+		PValue:      p,
+		Martingale:  value,
+		WindowDelta: windowDelta,
+		MeanP:       meanP,
+	}, t.perFrame)
+	t.mu.Unlock()
+}
+
+// DriftDeclared records a declared drift on the named model's
+// distribution. lag is frames observed since the inspector's last reset;
+// sampled is how many were folded into the martingale.
+func (t *Tracer) DriftDeclared(model string, lag, sampled int, martingale, windowDelta, meanP float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.martingale, t.windowDelta, t.meanP = martingale, windowDelta, meanP
+	t.emit(Event{
+		Kind:        KindDriftDeclared,
+		Model:       model,
+		Lag:         lag,
+		Sampled:     sampled,
+		Martingale:  martingale,
+		WindowDelta: windowDelta,
+		MeanP:       meanP,
+	}, true)
+	t.mu.Unlock()
+}
+
+// SelectionStarted records the pipeline entering its selection window.
+func (t *Tracer) SelectionStarted(selector string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.emit(Event{Kind: KindSelectionStarted, Selector: selector}, true)
+	t.mu.Unlock()
+}
+
+// SelectionResolved records a completed selector run. selected is empty
+// when every candidate was rejected (the train-new-model path).
+func (t *Tracer) SelectionResolved(selector, selected string, framesUsed int, candidates []Candidate) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.emit(Event{
+		Kind:       KindSelectionResolved,
+		Selector:   selector,
+		Model:      selected,
+		FramesUsed: framesUsed,
+		Candidates: candidates,
+	}, true)
+	t.mu.Unlock()
+}
+
+// ModelTrained records a model provisioned mid-stream from trainFrames
+// post-drift frames.
+func (t *Tracer) ModelTrained(model string, trainFrames int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.emit(Event{Kind: KindModelTrained, Model: model, TrainedNew: true, TrainFrames: trainFrames}, true)
+	t.mu.Unlock()
+}
+
+// ModelDeployed records model becoming the serving model and updates the
+// deployed-model gauge.
+func (t *Tracer) ModelDeployed(model string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.model = model
+	t.emit(Event{Kind: KindModelDeployed, Model: model}, true)
+	t.mu.Unlock()
+}
+
+// ObserveStage folds one stage latency into that stage's histogram.
+func (t *Tracer) ObserveStage(s Stage, d time.Duration) {
+	if t == nil || s >= stageCount {
+		return
+	}
+	t.mu.Lock()
+	t.stages[s].Observe(d)
+	t.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, t.n)
+	start := (t.head - t.n + len(t.ring)) % len(t.ring)
+	for i := 0; i < t.n; i++ {
+		out[i] = t.ring[(start+i)%len(t.ring)]
+	}
+	return out
+}

@@ -1,0 +1,334 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// --- Histogram bucket math ---
+
+func TestHistogramBucketOf(t *testing.T) {
+	cases := []struct {
+		ns   uint64
+		want int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11}, {2047, 11}, {2048, 12},
+		{math.MaxUint64, histBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.ns); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+	// Bucket bounds must tile [0, ∞): hi of bucket i == lo of bucket i+1.
+	for i := 0; i < histBuckets-1; i++ {
+		_, hi := bucketBounds(i)
+		lo, _ := bucketBounds(i + 1)
+		if hi != lo {
+			t.Errorf("bucket %d hi %g != bucket %d lo %g", i, hi, i+1, lo)
+		}
+	}
+	// Every value must land inside its bucket's bounds.
+	for _, ns := range []uint64{1, 2, 3, 100, 1024, 5000, 1 << 20} {
+		lo, hi := bucketBounds(bucketOf(ns))
+		if float64(ns) < lo || float64(ns) >= hi {
+			t.Errorf("ns %d outside its bucket [%g, %g)", ns, lo, hi)
+		}
+	}
+}
+
+func TestHistogramCountSumMax(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Count() != 0 {
+		t.Fatal("zero-value histogram not empty")
+	}
+	h.Observe(1500 * time.Nanosecond)
+	h.Observe(2500 * time.Nanosecond)
+	h.Observe(-5) // clamps to zero
+	if h.Count() != 3 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Sum() != 4000*time.Nanosecond {
+		t.Errorf("Sum = %v", h.Sum())
+	}
+	if h.Max() != 2500*time.Nanosecond {
+		t.Errorf("Max = %v", h.Max())
+	}
+	if q := h.Quantile(1); q != 2500*time.Nanosecond {
+		t.Errorf("Quantile(1) = %v, want exact max", q)
+	}
+}
+
+// TestHistogramQuantileVsExactSort checks the interpolated quantiles
+// against exact order statistics on fixed seeds: a log-bucketed estimate
+// must stay within a factor of 2 (one bucket width) of the exact value,
+// and the quantiles must be monotone.
+func TestHistogramQuantileVsExactSort(t *testing.T) {
+	for _, seed := range []int64{1, 42, 1234} {
+		rng := rand.New(rand.NewSource(seed))
+		var h Histogram
+		n := 5000
+		exact := make([]float64, n)
+		for i := 0; i < n; i++ {
+			// Log-normal-ish latencies centered near 3 µs.
+			ns := math.Exp(rng.NormFloat64()*1.5 + 8)
+			exact[i] = ns
+			h.Observe(time.Duration(ns))
+		}
+		sort.Float64s(exact)
+		for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+			rank := int(math.Ceil(q * float64(n)))
+			want := exact[rank-1]
+			got := float64(h.Quantile(q))
+			if got < want/2 || got > want*2 {
+				t.Errorf("seed %d q%.2f: estimate %.0fns vs exact %.0fns (off by >2x)", seed, q, got, want)
+			}
+		}
+		if !(h.Quantile(0.5) <= h.Quantile(0.95) && h.Quantile(0.95) <= h.Quantile(0.99) && h.Quantile(0.99) <= h.Max()) {
+			t.Errorf("seed %d: quantiles not monotone", seed)
+		}
+	}
+}
+
+// --- Ring buffer ---
+
+func TestRingBufferWraparound(t *testing.T) {
+	tr := New(Config{RingSize: 4})
+	for i := 0; i < 7; i++ {
+		tr.DriftDeclared("m", 100+i, i, 0, 0, 0)
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if e.Lag != 103+i {
+			t.Errorf("event %d lag = %d, want %d (oldest-first order after wraparound)", i, e.Lag, 103+i)
+		}
+		if i > 0 && e.Seq != evs[i-1].Seq+1 {
+			t.Errorf("event %d seq %d not consecutive after %d", i, e.Seq, evs[i-1].Seq)
+		}
+	}
+	if s := tr.Snapshot(); s.Drifts != 7 {
+		t.Errorf("counter must survive eviction: Drifts = %d, want 7", s.Drifts)
+	}
+}
+
+func TestPerFrameEventsGated(t *testing.T) {
+	quiet := New(Config{RingSize: 16})
+	quiet.FrameObserved(StateMonitoring)
+	quiet.MartingaleUpdate(0.5, 1, 0.5, 0.5)
+	if n := len(quiet.Events()); n != 0 {
+		t.Errorf("per-frame events ringed with PerFrame off: %d", n)
+	}
+	s := quiet.Snapshot()
+	if s.Frames != 1 || s.MartingaleUpdates != 1 {
+		t.Errorf("counters must still advance: %+v", s)
+	}
+
+	loud := New(Config{RingSize: 16, PerFrame: true})
+	loud.FrameObserved(StateSelecting)
+	loud.MartingaleUpdate(0.5, 1, 0.5, 0.5)
+	evs := loud.Events()
+	if len(evs) != 2 || evs[0].Kind != KindFrameObserved || evs[1].Kind != KindMartingaleUpdate {
+		t.Errorf("PerFrame events missing: %v", evs)
+	}
+	if loud.Snapshot().FramesByState["selecting"] != 1 {
+		t.Errorf("state attribution lost: %v", loud.Snapshot().FramesByState)
+	}
+}
+
+// --- Event semantics ---
+
+func TestEventFrameStamping(t *testing.T) {
+	tr := New(Config{})
+	tr.ModelDeployed("day") // before any frame
+	tr.FrameObserved(StateMonitoring)
+	tr.FrameObserved(StateMonitoring)
+	tr.DriftDeclared("day", 2, 1, 7, 7, 0.1)
+	evs := tr.Events()
+	if evs[0].Frame != -1 {
+		t.Errorf("pre-stream deploy frame = %d, want -1", evs[0].Frame)
+	}
+	if evs[1].Frame != 1 {
+		t.Errorf("drift frame = %d, want 1 (0-based index of second frame)", evs[1].Frame)
+	}
+}
+
+func TestEventJSONKinds(t *testing.T) {
+	tr := New(Config{})
+	tr.SelectionResolved("MSBI", "night", 30, []Candidate{
+		{Model: "day", Rejected: true, Martingale: 9.5, MeanP: 0.01},
+		{Model: "night", Martingale: 0.2, MeanP: 0.48},
+	})
+	raw, err := json.Marshal(tr.Events()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"kind":"selection_resolved"`, `"selector":"MSBI"`, `"model":"night"`, `"rejected":true`} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("event JSON missing %s: %s", want, raw)
+		}
+	}
+}
+
+// --- Nil safety ---
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer reports enabled")
+	}
+	tr.FrameObserved(StateMonitoring)
+	tr.MartingaleUpdate(0.5, 1, 1, 0.5)
+	tr.DriftDeclared("m", 1, 1, 0, 0, 0)
+	tr.SelectionStarted("MSBO")
+	tr.SelectionResolved("MSBO", "m", 10, nil)
+	tr.ModelTrained("m", 100)
+	tr.ModelDeployed("m")
+	tr.ObserveStage(StageFeaturize, time.Microsecond)
+	if evs := tr.Events(); evs != nil {
+		t.Errorf("nil tracer returned events: %v", evs)
+	}
+	if s := tr.Snapshot(); s.Frames != 0 || len(s.Stages) != 0 {
+		t.Errorf("nil tracer snapshot not zero: %+v", s)
+	}
+}
+
+// --- Exporters ---
+
+// TestPrometheusGolden locks the text-exposition format: metric names,
+// types, label shapes and number rendering.
+func TestPrometheusGolden(t *testing.T) {
+	now := time.Unix(1700000000, 0)
+	tr := New(Config{RingSize: 8, Now: func() time.Time { return now }})
+	tr.FrameObserved(StateMonitoring)
+	tr.FrameObserved(StateMonitoring)
+	tr.MartingaleUpdate(0.2, 1.5, 0.5, 0.35)
+	tr.ObserveStage(StageFeaturize, 1500*time.Nanosecond)
+	tr.ObserveStage(StageFeaturize, 2500*time.Nanosecond)
+	tr.ObserveStage(StageClassify, 4096*time.Nanosecond)
+	tr.DriftDeclared("day", 40, 4, 8, 6.5, 0.1)
+	tr.ModelDeployed("night")
+
+	var b strings.Builder
+	if err := tr.WritePrometheusTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `# HELP videodrift_frames_total Frames processed by the instrumented component.
+# TYPE videodrift_frames_total counter
+videodrift_frames_total 2
+# HELP videodrift_frames_state_total Frames processed, by pipeline state.
+# TYPE videodrift_frames_state_total counter
+videodrift_frames_state_total{state="monitoring"} 2
+videodrift_frames_state_total{state="selecting"} 0
+videodrift_frames_state_total{state="training"} 0
+# HELP videodrift_martingale_updates_total Sampled frames folded into the conformal martingale.
+# TYPE videodrift_martingale_updates_total counter
+videodrift_martingale_updates_total 1
+# HELP videodrift_drifts_total Drifts declared by the Drift Inspector.
+# TYPE videodrift_drifts_total counter
+videodrift_drifts_total 1
+# HELP videodrift_selections_total Model-selection runs resolved after a drift.
+# TYPE videodrift_selections_total counter
+videodrift_selections_total 0
+# HELP videodrift_models_trained_total Models trained mid-stream on novel distributions.
+# TYPE videodrift_models_trained_total counter
+videodrift_models_trained_total 0
+# HELP videodrift_model_deployments_total Model deployments (including the initial one).
+# TYPE videodrift_model_deployments_total counter
+videodrift_model_deployments_total 1
+# HELP videodrift_martingale_value Current CUSUM martingale value S_l.
+# TYPE videodrift_martingale_value gauge
+videodrift_martingale_value 8
+# HELP videodrift_martingale_window_delta Current windowed martingale growth |S_l - S_l-W|.
+# TYPE videodrift_martingale_window_delta gauge
+videodrift_martingale_window_delta 6.5
+# HELP videodrift_mean_p_value Mean conformal p-value since the inspector's last reset.
+# TYPE videodrift_mean_p_value gauge
+videodrift_mean_p_value 0.1
+# HELP videodrift_deployed_model Currently deployed model (value is always 1).
+# TYPE videodrift_deployed_model gauge
+videodrift_deployed_model{model="night"} 1
+# HELP videodrift_stage_latency_seconds Per-stage latency quantiles (log-bucket interpolated).
+# TYPE videodrift_stage_latency_seconds summary
+videodrift_stage_latency_seconds{stage="featurize",quantile="0.5"} 2.048e-06
+videodrift_stage_latency_seconds{stage="featurize",quantile="0.95"} 2.5e-06
+videodrift_stage_latency_seconds{stage="featurize",quantile="0.99"} 2.5e-06
+videodrift_stage_latency_seconds_sum{stage="featurize"} 4e-06
+videodrift_stage_latency_seconds_count{stage="featurize"} 2
+videodrift_stage_latency_seconds{stage="classify",quantile="0.5"} 4.096e-06
+videodrift_stage_latency_seconds{stage="classify",quantile="0.95"} 4.096e-06
+videodrift_stage_latency_seconds{stage="classify",quantile="0.99"} 4.096e-06
+videodrift_stage_latency_seconds_sum{stage="classify"} 4.096e-06
+videodrift_stage_latency_seconds_count{stage="classify"} 1
+# HELP videodrift_stage_latency_max_seconds Largest single observation per stage.
+# TYPE videodrift_stage_latency_max_seconds gauge
+videodrift_stage_latency_max_seconds{stage="featurize"} 2.5e-06
+videodrift_stage_latency_max_seconds{stage="classify"} 4.096e-06
+`
+	if got := b.String(); got != golden {
+		t.Errorf("Prometheus exposition drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", got, golden)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	tr := New(Config{})
+	tr.FrameObserved(StateMonitoring)
+	tr.ObserveStage(StageSelect, 2*time.Millisecond)
+	tr.SelectionResolved("MSBO", "rain", 10, []Candidate{{Model: "rain", Brier: 0.04}})
+
+	var b strings.Builder
+	if err := tr.WriteJSONTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal([]byte(b.String()), &s); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if s.Frames != 1 || s.Selections != 1 || len(s.Stages) != 1 || s.Stages[0].Stage != "select" {
+		t.Errorf("round-tripped snapshot wrong: %+v", s)
+	}
+}
+
+// --- Concurrency (meaningful under -race) ---
+
+func TestTracerConcurrentUse(t *testing.T) {
+	tr := New(Config{RingSize: 64, PerFrame: true})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.FrameObserved(StateMonitoring)
+				tr.ObserveStage(StageFeaturize, time.Microsecond)
+				if i%50 == 0 {
+					tr.DriftDeclared("m", i, i/10, 1, 1, 0.5)
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			_ = tr.Snapshot()
+			_ = tr.Events()
+			var b strings.Builder
+			_ = tr.WritePrometheusTo(&b)
+		}
+	}()
+	wg.Wait()
+	s := tr.Snapshot()
+	if s.Frames != 2000 || s.Drifts != 40 {
+		t.Errorf("lost updates under concurrency: %+v", s)
+	}
+}

@@ -39,10 +39,20 @@ func (s *SafeMonitor) Models() []string {
 	return s.mon.Models()
 }
 
-// Stats summarizes the monitor's activity so far.
+// Stats summarizes the monitor's activity so far. The metrics are read
+// under the same mutex that serializes Process, so concurrent callers
+// get a consistent snapshot rather than racing the internal monitor.
 func (s *SafeMonitor) Stats() Metrics {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.mon.Stats()
 }
 
+// Telemetry returns the monitor's tracer (nil when Options.Tracer was
+// not set). The tracer has its own internal lock, so the returned
+// pointer may be snapshotted or exported concurrently with Process.
+func (s *SafeMonitor) Telemetry() *Tracer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mon.Telemetry()
+}

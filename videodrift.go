@@ -27,6 +27,7 @@ import (
 	"videodrift/internal/dataset"
 	"videodrift/internal/query"
 	"videodrift/internal/stats"
+	"videodrift/internal/telemetry"
 	"videodrift/internal/vidsim"
 )
 
@@ -83,11 +84,34 @@ const (
 	MSBI = core.SelectorMSBI
 )
 
+// Tracer is the telemetry collector: a ring-buffered structured event
+// sink (drifts, selections, trainings, deployments), per-stage latency
+// histograms and JSON/Prometheus exporters. All methods are nil-safe
+// no-ops, so tracing off (the default) costs one pointer compare per
+// instrumented call site.
+type Tracer = telemetry.Tracer
+
+// TracerConfig parameterizes NewTracer (ring size, per-frame events).
+type TracerConfig = telemetry.Config
+
+// TelemetryEvent is one structured trace record.
+type TelemetryEvent = telemetry.Event
+
+// TelemetrySnapshot is a consistent point-in-time export of a tracer's
+// counters, gauges, stage latencies and retained events.
+type TelemetrySnapshot = telemetry.Snapshot
+
+// NewTracer builds a telemetry tracer to set as Options.Tracer.
+func NewTracer(cfg TracerConfig) *Tracer { return telemetry.New(cfg) }
+
 // Options bundles the tunables of provisioning and monitoring. The zero
 // value is not usable; start from Defaults.
 type Options struct {
 	Provision core.ProvisionConfig
 	Pipeline  core.PipelineConfig
+	// Tracer enables telemetry when non-nil (see NewTracer); it is
+	// wired into the monitor's pipeline and drift inspector.
+	Tracer *Tracer
 }
 
 // Defaults returns paper-parameter options for frames with frameDim
@@ -118,6 +142,9 @@ type Monitor struct {
 func NewMonitor(models []*Model, labeler Labeler, opts Options) *Monitor {
 	reg := core.NewRegistry(models...)
 	opts.Pipeline.Provision = opts.Provision
+	if opts.Tracer != nil {
+		opts.Pipeline.Tracer = opts.Tracer
+	}
 	return &Monitor{pipe: core.NewPipeline(reg, labeler, opts.Pipeline)}
 }
 
@@ -135,6 +162,11 @@ func (m *Monitor) Models() []string { return m.pipe.Registry().Names() }
 // Stats summarizes the monitor's activity so far.
 func (m *Monitor) Stats() core.Metrics { return m.pipe.Metrics() }
 
+// Telemetry returns the monitor's tracer (nil when Options.Tracer was
+// not set). The tracer is safe for concurrent use: snapshot or export it
+// from other goroutines while the monitor processes frames.
+func (m *Monitor) Telemetry() *Tracer { return m.pipe.Tracer() }
+
 // Detector is a standalone Drift Inspector for one model — use it when
 // only drift detection is needed.
 type Detector struct {
@@ -150,6 +182,10 @@ func NewDetector(model *Model, seed int64) *Detector {
 // Observe folds one frame into the detector and reports whether a drift
 // is declared.
 func (d *Detector) Observe(f Frame) bool { return d.di.ObserveFrame(f) }
+
+// SetTracer attaches a telemetry tracer to the standalone detector
+// (martingale updates, stage latencies, drift events).
+func (d *Detector) SetTracer(tr *Tracer) { d.di.SetTracer(tr) }
 
 // Reset clears the detector's state (after handling a drift).
 func (d *Detector) Reset() { d.di.Reset() }
