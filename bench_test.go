@@ -7,6 +7,7 @@ package videodrift
 // behind the per-frame cost tables.
 
 import (
+	"fmt"
 	"testing"
 
 	"videodrift/internal/classifier"
@@ -19,6 +20,7 @@ import (
 	"videodrift/internal/query"
 	"videodrift/internal/stats"
 	"videodrift/internal/telemetry"
+	"videodrift/internal/tensor"
 	"videodrift/internal/vidsim"
 	"videodrift/internal/vision"
 )
@@ -316,5 +318,111 @@ func makeLabeledWindow(env *experiments.Env, frames []vidsim.Frame, labeler core
 func BenchmarkAblationDetectors(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		experiments.RunAblation(benchConfig())
+	}
+}
+
+// --- kNN kernel + parallel selection engine ---
+
+// BenchmarkKNNScore compares the retained brute-force non-conformity
+// scorer against the flattened-matrix fast path, at the default Σ shape
+// (SampleCount × AppearanceDim) and in the blocked-kernel regime of
+// larger reference sets. The fast path must stay at 0 allocs/op.
+func BenchmarkKNNScore(b *testing.B) {
+	for _, shape := range []struct {
+		name   string
+		n, dim int
+	}{
+		{"sigma100x4", 100, 4},   // the default Σ the Drift Inspector scores against
+		{"sigma512x64", 512, 64}, // bounded-kernel regime (dim > inline cutoff)
+	} {
+		// Reference samples of one provisioned condition concentrate, so
+		// generate Σ as clusters — the regime the bounded kernel's
+		// early-exit is built for — with the probe near one cluster.
+		rng := stats.NewRNG(17)
+		centers := make([]tensor.Vector, 8)
+		for i := range centers {
+			centers[i] = tensor.Vector(rng.UniformVec(shape.dim, 0, 1))
+		}
+		refs := make([]tensor.Vector, shape.n)
+		for i := range refs {
+			c := centers[i%len(centers)]
+			noise := rng.UniformVec(shape.dim, -0.05, 0.05)
+			v := c.Clone()
+			for j := range v {
+				v[j] += noise[j]
+			}
+			refs[i] = v
+		}
+		probe := centers[0].Clone()
+		b.Run(shape.name+"/brute", func(b *testing.B) {
+			m := conformal.KNN{K: 5}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.BruteScore(probe, refs)
+			}
+		})
+		b.Run(shape.name+"/fast", func(b *testing.B) {
+			s := conformal.NewKNNScorer(5, tensor.FlattenVectors(refs))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Score(probe)
+			}
+		})
+	}
+}
+
+// BenchmarkMSBIParallel measures Algorithm 2 as the registry grows, at
+// increasing worker counts — the near-linear-scaling contract of the
+// parallel selection engine. Every sub-benchmark computes the identical
+// result (see TestMSBIParallelDeterminism); only wall clock may differ.
+func BenchmarkMSBIParallel(b *testing.B) {
+	for _, models := range []int{4, 8, 16} {
+		entries := make([]*core.ModelEntry, models)
+		for i := range entries {
+			frames := vidsim.GenerateTraining(vidsim.Angle(i, 5.5, -1), 16, 16, 150, int64(40+i))
+			entries[i] = core.Provision(fmt.Sprintf("angle%d", i), frames, nil, core.DefaultProvisionConfig(16*16, 2))
+		}
+		window := vidsim.GenerateTraining(vidsim.Angle(1, 5.5, -1), 16, 16, 40, 99)
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("models%d/workers%d", models, workers), func(b *testing.B) {
+				cfg := core.DefaultMSBIConfig()
+				cfg.Workers = workers
+				rng := stats.NewRNG(7)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					core.MSBI(window, entries, cfg, rng.Split())
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkShardedThroughput measures aggregate monitoring throughput as
+// shards (concurrent camera streams over the shared registry) are added:
+// one ProcessBatch per iteration, steady-state in-distribution frames so
+// no drift machinery beyond Algorithm 1 runs. The ns/frame metric is the
+// per-stream cost; flat ns/frame across shard counts means linear
+// aggregate throughput.
+func BenchmarkShardedThroughput(b *testing.B) {
+	opts := Defaults(facadeDim, facadeClasses)
+	opts.Pipeline.Selector = MSBI
+	day := BuildModel("day", facadeFrames(facadeCond(vidsim.Day()), 200, 51), nil, opts)
+	night := BuildModel("night", facadeFrames(facadeCond(vidsim.Night()), 200, 52), nil, opts)
+	models := []*Model{day, night}
+	frames := facadeFrames(facadeCond(vidsim.Day()), 256, 53)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards%d", shards), func(b *testing.B) {
+			sm := NewShardedMonitor(models, nil, ShardedOptions{Options: opts, Shards: shards})
+			batch := make([]Frame, shards)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for s := range batch {
+					batch[s] = frames[(i+s)%len(frames)]
+				}
+				sm.ProcessBatch(batch)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*shards), "ns/frame")
+		})
 	}
 }

@@ -4,24 +4,32 @@
 // the selector resolve and the per-stage latency distribution move, all
 // without stopping the stream.
 //
+// With -shards N it drives N concurrent camera streams over one shared
+// set of provisioned models (the multi-camera deployment shape): each
+// shard is an independent monitor with its own seed, drift state and
+// telemetry tracer, and the expensive read-only state — reference
+// feature matrices, calibration scores, classifier weights — is shared.
+//
 // Endpoints:
 //
 //	/metrics   Prometheus text-exposition format (counters, gauges,
-//	           per-stage latency quantiles)
-//	/snapshot  the same state as one indented JSON document
+//	           per-stage latency quantiles); ?shard=k selects a shard
+//	/snapshot  the same state as one indented JSON document (?shard=k)
 //	/events    the retained structured events (drifts, selections,
 //	           trainings, deployments), optionally ?kind=drift_declared
-//	/healthz   liveness plus frames-processed progress
+//	           and/or ?shard=k
+//	/healthz   liveness plus frames-processed progress and shard count
 //	/debug/pprof/…  the standard net/http/pprof profiles
 //
 // Usage:
 //
 //	driftserve [-addr :9090] [-dataset bdd|detrac|tokyo|slow] [-scale 0.02]
-//	           [-selector msbo|msbi] [-train 300] [-fps 240] [-frames 0]
-//	           [-ring 4096] [-perframe] [-v]
+//	           [-selector msbo|msbi] [-train 300] [-shards 1] [-workers 0]
+//	           [-fps 240] [-frames 0] [-ring 4096] [-perframe] [-v]
 //
-// The stream loops forever (a fresh seed per lap keeps drifts coming)
-// unless -frames bounds it; -fps 0 runs unthrottled.
+// Streams loop forever (a fresh seed per lap keeps drifts coming) unless
+// -frames bounds the total; -fps throttles each shard's rate (0 runs
+// unthrottled).
 package main
 
 import (
@@ -32,14 +40,17 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strconv"
 	"sync/atomic"
 	"time"
 
+	"videodrift"
 	"videodrift/internal/core"
 	"videodrift/internal/dataset"
 	"videodrift/internal/experiments"
 	"videodrift/internal/query"
 	"videodrift/internal/telemetry"
+	"videodrift/internal/vidsim"
 )
 
 func main() {
@@ -48,9 +59,11 @@ func main() {
 	scale := flag.Float64("scale", 0.02, "dataset stream scale (1.0 = paper sizes)")
 	selector := flag.String("selector", "msbo", "model selector: msbo or msbi")
 	train := flag.Int("train", 300, "training frames per provisioned condition")
-	fps := flag.Float64("fps", 240, "stream rate limit in frames/second (0 = unthrottled)")
-	frames := flag.Int("frames", 0, "stop the stream after this many frames (0 = loop forever)")
-	ring := flag.Int("ring", 4096, "telemetry event-ring capacity")
+	shards := flag.Int("shards", 1, "concurrent camera streams over the shared models")
+	workers := flag.Int("workers", 0, "goroutines processing shard frames (0 = GOMAXPROCS)")
+	fps := flag.Float64("fps", 240, "per-shard rate limit in frames/second (0 = unthrottled)")
+	frames := flag.Int("frames", 0, "stop after this many frames across all shards (0 = loop forever)")
+	ring := flag.Int("ring", 4096, "telemetry event-ring capacity per shard")
 	perFrame := flag.Bool("perframe", false, "also ring per-frame FrameObserved/MartingaleUpdate events")
 	verbose := flag.Bool("v", false, "log drift/selection events to stderr as they happen")
 	flag.Parse()
@@ -72,6 +85,9 @@ func main() {
 	if *selector == "msbi" {
 		sel = core.SelectorMSBI
 	}
+	if *shards < 1 {
+		log.Fatalf("-shards must be >= 1, got %d", *shards)
+	}
 
 	cfg := experiments.DefaultConfig()
 	cfg.Scale = *scale
@@ -81,10 +97,24 @@ func main() {
 		len(ds.Sequences), ds.Name, cfg.TrainFrames)
 	env := experiments.BuildEnv(ds, cfg, query.Count)
 
-	tracer := telemetry.New(telemetry.Config{RingSize: *ring, PerFrame: *perFrame})
+	// One tracer per shard so each stream's drift history and latency
+	// distribution stay separable; shard 0 is the default view.
+	tracers := make([]*telemetry.Tracer, *shards)
+	for i := range tracers {
+		tracers[i] = telemetry.New(telemetry.Config{RingSize: *ring, PerFrame: *perFrame})
+	}
 	pcfg := env.PipelineConfig(sel)
-	pcfg.Tracer = tracer
-	pipe := core.NewPipeline(env.Registry, env.Labeler(), pcfg)
+	mon := videodrift.NewShardedMonitor(env.Registry.Entries(), env.Labeler(), videodrift.ShardedOptions{
+		Options: videodrift.Options{
+			// Keep the experiment env's recovery-path provisioning (fewer
+			// epochs, smaller ensemble) rather than the registry defaults.
+			Provision: pcfg.Provision,
+			Pipeline:  pcfg,
+		},
+		Shards:  *shards,
+		Workers: *workers,
+		Tracers: tracers,
+	})
 
 	var processed atomic.Int64
 	var done atomic.Bool
@@ -95,53 +125,100 @@ func main() {
 			throttle = time.NewTicker(time.Duration(float64(time.Second) / *fps))
 			defer throttle.Stop()
 		}
-		for lap := 0; ; lap++ {
+		// Each shard loops its own copy of the dataset on an independent
+		// lap-seed schedule, so the shards drift at different times — the
+		// realistic multi-camera load. All shards advance in lockstep, one
+		// frame per shard per batch.
+		streams := make([]*vidsim.Stream, *shards)
+		laps := make([]int, *shards)
+		newStream := func(s, lap int) *vidsim.Stream {
 			lapDS := *ds
-			lapDS.Seed = ds.Seed + int64(lap)*7907
+			lapDS.Seed = ds.Seed + int64(s)*104729 + int64(lap)*7907
 			stream := lapDS.Stream()
 			if *verbose {
-				fmt.Fprintf(os.Stderr, "lap %d: %d frames, ground-truth drifts at %v\n",
-					lap, stream.TotalLength(), stream.DriftPoints())
+				fmt.Fprintf(os.Stderr, "shard %d lap %d: %d frames, ground-truth drifts at %v\n",
+					s, lap, stream.TotalLength(), stream.DriftPoints())
 			}
-			for {
-				f, ok := stream.Next()
-				if !ok {
-					break
+			return stream
+		}
+		for s := range streams {
+			streams[s] = newStream(s, 0)
+		}
+		batch := make([]vidsim.Frame, *shards)
+		for {
+			for s := range streams {
+				f, ok := streams[s].Next()
+				for !ok {
+					laps[s]++
+					streams[s] = newStream(s, laps[s])
+					f, ok = streams[s].Next()
 				}
-				out := pipe.Process(f)
-				n := processed.Add(1)
-				if *verbose && out.Drift {
-					fmt.Fprintf(os.Stderr, "frame %d [%s]: drift declared\n", n-1, f.Condition)
+				batch[s] = f
+			}
+			events := mon.ProcessBatch(batch)
+			n := processed.Add(int64(len(events)))
+			if *verbose {
+				for s, out := range events {
+					if out.Drift {
+						fmt.Fprintf(os.Stderr, "shard %d frame %d [%s]: drift declared\n", s, n-1, batch[s].Condition)
+					}
+					if out.SwitchedTo != "" {
+						fmt.Fprintf(os.Stderr, "shard %d frame %d [%s]: deployed %q (trained=%v)\n",
+							s, n-1, batch[s].Condition, out.SwitchedTo, out.TrainedNew)
+					}
 				}
-				if *verbose && out.SwitchedTo != "" {
-					fmt.Fprintf(os.Stderr, "frame %d [%s]: deployed %q (trained=%v)\n", n-1, f.Condition, out.SwitchedTo, out.TrainedNew)
-				}
-				if *frames > 0 && n >= int64(*frames) {
-					fmt.Fprintf(os.Stderr, "frame budget reached (%d); stream stopped, still serving\n", n)
-					return
-				}
-				if throttle != nil {
-					<-throttle.C
-				}
+			}
+			if *frames > 0 && n >= int64(*frames) {
+				fmt.Fprintf(os.Stderr, "frame budget reached (%d); streams stopped, still serving\n", n)
+				return
+			}
+			if throttle != nil {
+				<-throttle.C
 			}
 		}
 	}()
 
+	// shardTracer resolves the ?shard=k query parameter (default 0).
+	shardTracer := func(w http.ResponseWriter, r *http.Request) *telemetry.Tracer {
+		q := r.URL.Query().Get("shard")
+		if q == "" {
+			return tracers[0]
+		}
+		k, err := strconv.Atoi(q)
+		if err != nil || k < 0 || k >= len(tracers) {
+			http.Error(w, fmt.Sprintf("shard must be in [0,%d)", len(tracers)), http.StatusBadRequest)
+			return nil
+		}
+		return tracers[k]
+	}
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		tr := shardTracer(w, r)
+		if tr == nil {
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := tracer.WritePrometheusTo(w); err != nil {
+		if err := tr.WritePrometheusTo(w); err != nil {
 			log.Printf("/metrics: %v", err)
 		}
 	})
 	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		tr := shardTracer(w, r)
+		if tr == nil {
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
-		if err := tracer.WriteJSONTo(w); err != nil {
+		if err := tr.WriteJSONTo(w); err != nil {
 			log.Printf("/snapshot: %v", err)
 		}
 	})
 	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
-		events := tracer.Events()
+		tr := shardTracer(w, r)
+		if tr == nil {
+			return
+		}
+		events := tr.Events()
 		if kind := r.URL.Query().Get("kind"); kind != "" {
 			filtered := events[:0:0]
 			for _, e := range events {
@@ -160,7 +237,8 @@ func main() {
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, "{\"status\":\"ok\",\"streaming\":%v,\"frames\":%d}\n", !done.Load(), processed.Load())
+		fmt.Fprintf(w, "{\"status\":\"ok\",\"streaming\":%v,\"shards\":%d,\"frames\":%d}\n",
+			!done.Load(), len(tracers), processed.Load())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -172,8 +250,8 @@ func main() {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintf(w, "driftserve: %s stream, %s selector\nendpoints: /metrics /snapshot /events /healthz /debug/pprof/\n",
-			ds.Name, sel)
+		fmt.Fprintf(w, "driftserve: %s stream ×%d shards, %s selector\nendpoints: /metrics /snapshot /events /healthz /debug/pprof/ (?shard=k)\n",
+			ds.Name, len(tracers), sel)
 	})
 
 	fmt.Fprintf(os.Stderr, "serving telemetry on %s (endpoints: /metrics /snapshot /events /healthz /debug/pprof/)\n", *addr)

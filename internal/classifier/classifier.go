@@ -9,9 +9,9 @@ package classifier
 
 import (
 	"fmt"
-	"sync"
 
 	"videodrift/internal/nn"
+	"videodrift/internal/parallel"
 	"videodrift/internal/stats"
 	"videodrift/internal/tensor"
 )
@@ -153,21 +153,13 @@ func NewEnsemble(size int, cfg Config, rng *stats.RNG) *Ensemble {
 
 // Fit trains every member on the full sample set with an independent
 // shuffle order per member (the full-data deep-ensemble recipe the paper
-// adopts instead of bagging). Members train concurrently.
+// adopts instead of bagging). Members train concurrently on a bounded
+// worker pool; per-member RNG streams are forked in member order before
+// the fan-out, so the trained weights are identical to a serial fit.
 func (e *Ensemble) Fit(samples []Sample, rng *stats.RNG) {
-	rngs := make([]*stats.RNG, len(e.Members))
-	for i := range rngs {
-		rngs[i] = rng.Split()
-	}
-	var wg sync.WaitGroup
-	for i, m := range e.Members {
-		wg.Add(1)
-		go func(m *Classifier, r *stats.RNG) {
-			defer wg.Done()
-			m.Fit(samples, r)
-		}(m, rngs[i])
-	}
-	wg.Wait()
+	parallel.New(0).ForEachSeeded(len(e.Members), rng, func(i int, r *stats.RNG) {
+		e.Members[i].Fit(samples, r)
+	})
 }
 
 // PredictProba returns the uniformly weighted mixture prediction

@@ -7,6 +7,7 @@ package conformal
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"videodrift/internal/tensor"
@@ -27,19 +28,40 @@ type KNN struct {
 	K int
 }
 
-// Score implements Measure. When the reference holds fewer than K
-// elements, all of them are used. It panics on an empty reference.
+// Score implements Measure via bounded selection: it computes all
+// distances once, quickselects the K smallest instead of sorting the
+// whole list, and sums them in ascending order — bit-identical to
+// BruteScore (the retained sort-everything reference) at a fraction of
+// the cost. When the reference holds fewer than K elements, all of them
+// are used. It panics on an empty reference. For the zero-allocation
+// monitoring hot path use KNNScorer, which reuses scratch buffers and a
+// flattened reference matrix across calls.
 func (m KNN) Score(x tensor.Vector, ref []tensor.Vector) float64 {
 	if len(ref) == 0 {
 		panic("conformal: KNN.Score with empty reference")
 	}
-	k := m.K
-	if k <= 0 {
-		k = 1
+	k := clampK(m.K, len(ref))
+	dists := make([]float64, len(ref))
+	for i, r := range ref {
+		dists[i] = x.Dist(r)
 	}
-	if k > len(ref) {
-		k = len(ref)
+	selectSmallest(dists, k)
+	sort.Float64s(dists[:k])
+	sum := 0.0
+	for _, d := range dists[:k] {
+		sum += d
 	}
+	return sum / float64(k)
+}
+
+// BruteScore is the original allocate-and-sort-all implementation,
+// retained as the reference the optimized paths are property-tested
+// against (and as the worked-example baseline of Tables 2–4).
+func (m KNN) BruteScore(x tensor.Vector, ref []tensor.Vector) float64 {
+	if len(ref) == 0 {
+		panic("conformal: KNN.BruteScore with empty reference")
+	}
+	k := clampK(m.K, len(ref))
 	dists := make([]float64, len(ref))
 	for i, r := range ref {
 		dists[i] = x.Dist(r)
@@ -52,12 +74,259 @@ func (m KNN) Score(x tensor.Vector, ref []tensor.Vector) float64 {
 	return sum / float64(k)
 }
 
+func clampK(k, n int) int {
+	if k <= 0 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// selectSmallest partially orders a so that a[:k] holds its k smallest
+// elements (in unspecified order) — Hoare quickselect with median-of-three
+// pivoting, O(n) expected, no allocation.
+func selectSmallest(a []float64, k int) {
+	lo, hi := 0, len(a)-1
+	for hi > lo {
+		// Median-of-three pivot, moved to a[lo].
+		mid := lo + (hi-lo)/2
+		if a[mid] < a[lo] {
+			a[mid], a[lo] = a[lo], a[mid]
+		}
+		if a[hi] < a[lo] {
+			a[hi], a[lo] = a[lo], a[hi]
+		}
+		if a[hi] < a[mid] {
+			a[hi], a[mid] = a[mid], a[hi]
+		}
+		a[lo], a[mid] = a[mid], a[lo]
+		pivot := a[lo]
+		i, j := lo, hi+1
+		for {
+			for i++; i <= hi && a[i] < pivot; i++ {
+			}
+			for j--; a[j] > pivot; j-- {
+			}
+			if i >= j {
+				break
+			}
+			a[i], a[j] = a[j], a[i]
+		}
+		a[lo], a[j] = a[j], a[lo]
+		switch {
+		case j >= k:
+			hi = j - 1
+		default:
+			lo = j + 1
+		}
+	}
+}
+
+// KNNScorer is the zero-allocation kNN non-conformity scorer the
+// monitoring hot path runs: squared distances stream out of a flattened
+// contiguous reference matrix, a size-K max-heap of scratch storage keeps
+// the current K nearest, and rows are abandoned early once their partial
+// squared distance exceeds the heap's maximum. Scores are bit-identical
+// to KNN.BruteScore over the same reference (the sqrt/sum arithmetic and
+// its ordering are preserved). A KNNScorer reuses internal scratch and is
+// NOT safe for concurrent use; the RefMatrix it reads is immutable and
+// may be shared by any number of scorers.
+type KNNScorer struct {
+	k    int
+	ref  *tensor.RefMatrix
+	heap []float64 // size-k max-heap of the smallest squared distances
+}
+
+// NewKNNScorer builds a scorer for k nearest neighbours over the
+// flattened reference. It panics on an empty reference; k is clamped the
+// same way KNN.Score clamps it.
+func NewKNNScorer(k int, ref *tensor.RefMatrix) *KNNScorer {
+	if ref == nil || ref.Len() == 0 {
+		panic("conformal: NewKNNScorer with empty reference")
+	}
+	k = clampK(k, ref.Len())
+	return &KNNScorer{k: k, ref: ref, heap: make([]float64, 0, k)}
+}
+
+// K returns the (clamped) neighbour count.
+func (s *KNNScorer) K() int { return s.k }
+
+// Score returns the mean distance from x to its K nearest reference rows.
+func (s *KNNScorer) Score(x tensor.Vector) float64 { return s.ScoreSkip(x, -1) }
+
+// ScoreSkip scores x against the reference with row `skip` excluded —
+// the leave-one-out primitive Calibrate builds on (skip < 0 excludes
+// nothing). It panics when skipping leaves the reference empty.
+func (s *KNNScorer) ScoreSkip(x tensor.Vector, skip int) float64 {
+	n := s.ref.Len()
+	avail := n
+	if skip >= 0 && skip < n {
+		avail--
+	}
+	if avail == 0 {
+		panic("conformal: KNNScorer.ScoreSkip with empty reference")
+	}
+	k := s.k
+	if k > avail {
+		k = avail
+	}
+	h := s.heap[:0]
+	if s.ref.Dim() == 4 && len(x) == 4 {
+		// The default appearance features are exactly 4-dim; hoisting the
+		// probe into locals lets the whole distance drop into registers.
+		// Accumulation order matches the generic loop (ascending j), so
+		// scores stay bit-identical.
+		x0, x1, x2, x3 := x[0], x[1], x[2], x[3]
+		for i := 0; i < n; i++ {
+			if i == skip {
+				continue
+			}
+			row := s.ref.Row(i)[:4]
+			d0 := x0 - row[0]
+			d1 := x1 - row[1]
+			d2v := x2 - row[2]
+			d3 := x3 - row[3]
+			d2 := d0 * d0
+			d2 += d1 * d1
+			d2 += d2v * d2v
+			d2 += d3 * d3
+			if len(h) < k {
+				h = append(h, d2)
+				siftUp(h)
+				continue
+			}
+			if d2 < h[0] {
+				h[0] = d2
+				siftDown(h)
+			}
+		}
+	} else if s.ref.Dim() <= inlineDistDim {
+		// Small rows (the appearance features are 4-dim): the blocked
+		// early-exit kernel cannot prune inside a row this short, so the
+		// per-row function call is pure overhead. Inline the distance loop
+		// — same accumulation order, bit-identical — and compare after.
+		for i := 0; i < n; i++ {
+			if i == skip {
+				continue
+			}
+			row := s.ref.Row(i)[:len(x)]
+			d2 := 0.0
+			for j, xv := range x {
+				d := xv - row[j]
+				d2 += d * d
+			}
+			if len(h) < k {
+				h = append(h, d2)
+				siftUp(h)
+				continue
+			}
+			if d2 < h[0] {
+				h[0] = d2
+				siftDown(h)
+			}
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			if i == skip {
+				continue
+			}
+			if len(h) < k {
+				d2 := s.ref.SqDistRow(x, i)
+				h = append(h, d2)
+				siftUp(h)
+				continue
+			}
+			if d2, ok := s.ref.SqDistRowBounded(x, i, h[0]); ok && d2 < h[0] {
+				h[0] = d2
+				siftDown(h)
+			}
+		}
+	}
+	s.heap = h
+	// Sum sqrt'ed distances in ascending order — the same ordering the
+	// sorted brute-force path uses, keeping the float accumulation
+	// bit-identical. k is small (paper: 5); insertion sort is free.
+	insertionSort(h)
+	sum := 0.0
+	for _, d2 := range h {
+		sum += math.Sqrt(d2)
+	}
+	return sum / float64(k)
+}
+
+// inlineDistDim is the row width at or below which ScoreSkip computes
+// distances with an inlined loop instead of the blocked early-exit
+// kernel: a row at most two blocks wide gives the bound check at most
+// one chance to fire, which doesn't repay a function call per row.
+const inlineDistDim = 2 * 8
+
+// siftUp restores the max-heap property after appending to h.
+func siftUp(h []float64) {
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent] >= h[i] {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+}
+
+// siftDown restores the max-heap property after replacing h[0].
+func siftDown(h []float64) {
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < len(h) && h[l] > h[largest] {
+			largest = l
+		}
+		if r < len(h) && h[r] > h[largest] {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h[i], h[largest] = h[largest], h[i]
+		i = largest
+	}
+}
+
+func insertionSort(a []float64) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
 // Calibrate returns the leave-one-out non-conformity score of every
 // element of ref against the rest — the precomputed A_i list of
 // Algorithm 1. It panics when ref has fewer than two elements.
+//
+// For the KNN measure the leave-one-out is computed in place over one
+// flattened reference matrix by skipping row i during scoring, replacing
+// the original O(n²) rebuild-the-rest-slice copying (n−1 vector copies
+// per element, n times over). Other measures fall back to the generic
+// rest-slice path.
 func Calibrate(m Measure, ref []tensor.Vector) []float64 {
 	if len(ref) < 2 {
 		panic(fmt.Sprintf("conformal: Calibrate needs >= 2 reference points, got %d", len(ref)))
+	}
+	if knn, ok := m.(KNN); ok {
+		scorer := NewKNNScorer(knn.K, tensor.FlattenVectors(ref))
+		scores := make([]float64, len(ref))
+		for i, x := range ref {
+			scores[i] = scorer.ScoreSkip(x, i)
+		}
+		return scores
 	}
 	scores := make([]float64, len(ref))
 	rest := make([]tensor.Vector, len(ref)-1)

@@ -42,13 +42,14 @@ func DefaultDIConfig() DIConfig {
 // the windowed martingale growth exceeds the Eq. 15 threshold. It is not
 // safe for concurrent use.
 type DriftInspector struct {
-	entry   *ModelEntry
-	cfg     DIConfig
-	measure conformal.KNN
-	mart    *conformal.CUSUM
-	test    conformal.DriftTest
-	rng     *stats.RNG
-	tracer  *telemetry.Tracer
+	entry  *ModelEntry
+	cfg    DIConfig
+	scorer *conformal.KNNScorer // kNN fast path over the entry's FeatMatrix
+	fz     vision.Featurizer    // reusable featurization scratch
+	mart   *conformal.CUSUM
+	test   conformal.DriftTest
+	rng    *stats.RNG
+	tracer *telemetry.Tracer
 
 	seen    int     // frames offered, including skipped ones
 	sampled int     // frames actually folded into the martingale
@@ -68,12 +69,12 @@ func NewDriftInspector(entry *ModelEntry, cfg DIConfig, rng *stats.RNG) *DriftIn
 		cfg.SampleEvery = 1
 	}
 	return &DriftInspector{
-		entry:   entry,
-		cfg:     cfg,
-		measure: conformal.KNN{K: cfg.K},
-		mart:    conformal.NewCUSUM(conformal.ShiftedOdd(cfg.Kappa), cfg.Kappa/2, cfg.W),
-		test:    conformal.DriftTest{W: cfg.W, R: cfg.R, Mode: cfg.Mode},
-		rng:     rng,
+		entry:  entry,
+		cfg:    cfg,
+		scorer: conformal.NewKNNScorer(cfg.K, entry.FeatMatrix()),
+		mart:   conformal.NewCUSUM(conformal.ShiftedOdd(cfg.Kappa), cfg.Kappa/2, cfg.W),
+		test:   conformal.DriftTest{W: cfg.W, R: cfg.R, Mode: cfg.Mode},
+		rng:    rng,
 	}
 }
 
@@ -100,13 +101,13 @@ func (di *DriftInspector) Observe(pixels tensor.Vector) bool {
 	if tr != nil {
 		t0 = time.Now()
 	}
-	feat := vision.Featurize(pixels, di.entry.W, di.entry.H)
+	feat := di.fz.Appearance(pixels, di.entry.W, di.entry.H)
 	if tr != nil {
 		t1 := time.Now()
 		tr.ObserveStage(telemetry.StageFeaturize, t1.Sub(t0))
 		t0 = t1
 	}
-	a := di.measure.Score(feat, di.entry.SampleFeats)
+	a := di.scorer.Score(feat)
 	if tr != nil {
 		t1 := time.Now()
 		tr.ObserveStage(telemetry.StageKNNScore, t1.Sub(t0))

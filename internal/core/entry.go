@@ -6,6 +6,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"videodrift/internal/classifier"
 	"videodrift/internal/conformal"
@@ -87,6 +88,12 @@ type ModelEntry struct {
 	Ensemble   *classifier.Ensemble   // MSBO ensemble (nil when unsupervised)
 	queryFn    vision.FeatureFunc     // classifier front-end
 
+	// featMat is SampleFeats flattened for the kNN fast path, built
+	// lazily because replayed/ad-hoc entries may never be scored. The
+	// sync.Once makes the build safe when shards share one entry.
+	featMat     *tensor.RefMatrix
+	featMatOnce sync.Once
+
 	// CalibSample is a labeled random sample S_{T_i} of the training data
 	// retained for MSBO threshold calibration (§5.2.2).
 	CalibSample []classifier.Sample
@@ -150,10 +157,11 @@ func Provision(name string, frames []vidsim.Frame, labeler Labeler, cfg Provisio
 	if nCal > 256 {
 		nCal = 256
 	}
-	measure := conformal.KNN{K: cfg.K}
+	scorer := conformal.NewKNNScorer(cfg.K, tensor.FlattenVectors(feats))
+	var fz vision.Featurizer
 	calib := make([]float64, nCal)
 	for i := 0; i < nCal; i++ {
-		calib[i] = measure.Score(vision.Featurize(frames[calIdx[i]].Pixels, w, h), feats)
+		calib[i] = scorer.Score(fz.Appearance(frames[calIdx[i]].Pixels, w, h))
 	}
 
 	e := &ModelEntry{
@@ -193,6 +201,17 @@ func Provision(name string, frames []vidsim.Frame, labeler Labeler, cfg Provisio
 		}
 	}
 	return e
+}
+
+// FeatMatrix returns the entry's reference features Σ_{T_i} flattened
+// into the contiguous matrix the kNN fast path streams over. It is built
+// on first use and shared by every inspector (and every stream shard)
+// monitoring this entry; concurrent first calls are safe.
+func (e *ModelEntry) FeatMatrix() *tensor.RefMatrix {
+	e.featMatOnce.Do(func() {
+		e.featMat = tensor.FlattenVectors(e.SampleFeats)
+	})
+	return e.featMat
 }
 
 // Registry is the collection of provisioned models M_1 … M_m the Model

@@ -1,9 +1,13 @@
 package core
 
 import (
+	"videodrift/internal/conformal"
+	"videodrift/internal/parallel"
 	"videodrift/internal/stats"
 	"videodrift/internal/telemetry"
+	"videodrift/internal/tensor"
 	"videodrift/internal/vidsim"
+	"videodrift/internal/vision"
 )
 
 // MSBIConfig carries the Model-Selection-Based-on-Input parameters
@@ -21,6 +25,12 @@ type MSBIConfig struct {
 	// sit near zero, so the floor separates "marginally strange" from
 	// "novel distribution".
 	MeanPFloor float64
+	// Workers bounds the goroutines scoring candidate models (<= 0 uses
+	// GOMAXPROCS). The decision is independent of the worker count: every
+	// model's RNG stream is forked serially in registry order before the
+	// fan-out, and escalation rounds replay memoized p-values instead of
+	// consuming fresh randomness.
+	Workers int
 }
 
 // DefaultMSBIConfig returns the paper's MSBI parameters. W_N follows the
@@ -47,13 +57,70 @@ type MSBIResult struct {
 	Candidates []telemetry.Candidate
 }
 
-// MSBI is Algorithm 2: it replays the post-drift window through a fresh
-// Drift Inspector per provisioned model at significance r. Models whose
-// i.i.d. hypothesis is rejected (drift declared) are dropped. If every
-// model rejects, the data is novel and a new model must be trained
-// (Selected = nil). Ties between surviving models are broken by escalating
-// r (shrinking the threshold) and, if several still survive at the cap, by
-// the smallest final martingale value — the least-drifted match.
+// modelTrace is one model's memoized evidence on the selection window:
+// the conformal p-values of the sampled frames (with their tie-break
+// draws already consumed) plus the derived final martingale value and
+// mean p-value. Escalation rounds and the least-drifted tie-break replay
+// the martingale over ps at a different significance level instead of
+// re-scoring frames — scores and p-values are computed exactly once per
+// (model, frame).
+type modelTrace struct {
+	ps        []float64
+	meanP     float64
+	finalMart float64 // martingale value after the full window (r-independent)
+}
+
+// buildTrace scores one model over the pre-featurized sampled frames.
+// RNG draw order matches a serial Drift Inspector replay: one uniform
+// tie-break per sampled frame, in frame order.
+func buildTrace(e *ModelEntry, feats []tensor.Vector, cfg DIConfig, rng *stats.RNG) *modelTrace {
+	scorer := conformal.NewKNNScorer(cfg.K, e.FeatMatrix())
+	tr := &modelTrace{ps: make([]float64, len(feats))}
+	mart := conformal.NewCUSUM(conformal.ShiftedOdd(cfg.Kappa), cfg.Kappa/2, cfg.W)
+	sum := 0.0
+	for i, feat := range feats {
+		a := scorer.Score(feat)
+		p := e.Calib.PValue(a, rng.Float64())
+		tr.ps[i] = p
+		sum += p
+		mart.Update(p)
+	}
+	if len(feats) > 0 {
+		tr.meanP = sum / float64(len(feats))
+	}
+	tr.finalMart = mart.Value()
+	return tr
+}
+
+// replayDrifted re-runs the martingale over a memoized p-value trace at
+// significance r and reports whether the windowed test fires anywhere.
+func replayDrifted(ps []float64, cfg DIConfig, r float64) bool {
+	mart := conformal.NewCUSUM(conformal.ShiftedOdd(cfg.Kappa), cfg.Kappa/2, cfg.W)
+	test := conformal.DriftTest{W: cfg.W, R: r, Mode: cfg.Mode}
+	for _, p := range ps {
+		mart.Update(p)
+		if test.Check(mart) {
+			return true
+		}
+	}
+	return false
+}
+
+// MSBI is Algorithm 2: it replays the post-drift window through each
+// provisioned model's conformal martingale at significance r. Models
+// whose i.i.d. hypothesis is rejected (drift declared) are dropped. If
+// every model rejects, the data is novel and a new model must be trained
+// (Selected = nil). Ties between surviving models are broken by
+// escalating r (shrinking the threshold) and, if several still survive
+// at the cap, by the smallest final martingale value — the least-drifted
+// match.
+//
+// The expensive work — featurizing the window and scoring it against
+// every model's reference sample — happens exactly once: frames are
+// featurized up front (features are model-independent), models are
+// scored concurrently on a bounded worker pool, and the escalation
+// rounds replay the memoized p-value traces through fresh martingales.
+// Under a fixed seed the result is identical for any Workers setting.
 func MSBI(window []vidsim.Frame, entries []*ModelEntry, cfg MSBIConfig, rng *stats.RNG) MSBIResult {
 	if len(window) == 0 || len(entries) == 0 {
 		return MSBIResult{}
@@ -63,43 +130,57 @@ func MSBI(window []vidsim.Frame, entries []*ModelEntry, cfg MSBIConfig, rng *sta
 		n = len(window)
 	}
 	frames := window[:n]
-
 	res := MSBIResult{FramesUsed: n}
-	candidates := entries
-	r := cfg.DI.R
+
+	di := cfg.DI
+	if di.SampleEvery <= 0 {
+		di.SampleEvery = 1
+	}
+
+	// Featurize the sampled frames once — appearance features depend only
+	// on the frame, not on the model being tested.
+	var fz vision.Featurizer
+	feats := make([]tensor.Vector, 0, (n+di.SampleEvery-1)/di.SampleEvery)
+	for i := 0; i < n; i += di.SampleEvery {
+		f := frames[i]
+		feats = append(feats, fz.Appearance(f.Pixels, f.W, f.H).Clone())
+	}
+
+	// Score every model concurrently. RNG streams are forked in registry
+	// order before the fan-out, so traces[i] is the same for any worker
+	// count.
+	traces := make([]*modelTrace, len(entries))
+	pool := parallel.New(cfg.Workers)
+	pool.ForEachSeeded(len(entries), rng, func(i int, r *stats.RNG) {
+		traces[i] = buildTrace(entries[i], feats, di, r)
+	})
+
+	active := make([]int, len(entries))
+	for i := range active {
+		active[i] = i
+	}
+	r := di.R
 	for {
-		type outcome struct {
-			entry *ModelEntry
-			delta float64 // final martingale value, the tie-break key
-			meanP float64
-		}
-		var survivors []outcome
+		survivors := active[:0:0]
 		bestMeanP := 0.0
 		var bestEntry *ModelEntry
-		for _, e := range candidates {
-			diCfg := cfg.DI
-			diCfg.R = r
-			di := NewDriftInspector(e, diCfg, rng.Split())
-			drifted := false
-			for _, f := range frames {
-				if di.ObserveFrame(f) && !drifted {
-					drifted = true
-				}
-			}
-			if mp := di.MeanP(); mp > bestMeanP {
-				bestMeanP = mp
-				bestEntry = e
+		for _, ci := range active {
+			tr := traces[ci]
+			drifted := replayDrifted(tr.ps, di, r)
+			if tr.meanP > bestMeanP {
+				bestMeanP = tr.meanP
+				bestEntry = entries[ci]
 			}
 			if res.Escalations == 0 {
 				res.Candidates = append(res.Candidates, telemetry.Candidate{
-					Model:      e.Name,
+					Model:      entries[ci].Name,
 					Rejected:   drifted,
-					Martingale: di.MartingaleValue(),
-					MeanP:      di.MeanP(),
+					Martingale: tr.finalMart,
+					MeanP:      tr.meanP,
 				})
 			}
 			if !drifted {
-				survivors = append(survivors, outcome{e, di.MartingaleValue(), di.MeanP()})
+				survivors = append(survivors, ci)
 			}
 		}
 		switch {
@@ -111,45 +192,39 @@ func MSBI(window []vidsim.Frame, entries []*ModelEntry, cfg MSBIConfig, rng *sta
 			// escalation rounds, the last surviving set ties and the
 			// least-drifted candidate wins.
 			switch {
-			case res.Escalations > 0 && len(candidates) > 0:
-				res.Selected = leastDrifted(frames, candidates, cfg, rng)
+			case res.Escalations > 0 && len(active) > 0:
+				res.Selected = entries[leastDriftedIdx(traces, active)]
 			case bestMeanP >= cfg.MeanPFloor:
 				res.Selected = bestEntry
 			}
 			return res
 		case len(survivors) == 1:
-			res.Selected = survivors[0].entry
+			res.Selected = entries[survivors[0]]
 			return res
 		}
 		// Multiple survivors: escalate the significance level and retest
-		// only them (Algorithm 2 line 14).
-		next := make([]*ModelEntry, len(survivors))
-		for i, s := range survivors {
-			next[i] = s.entry
-		}
-		candidates = next
+		// only them (Algorithm 2 line 14) over the memoized traces.
+		active = survivors
 		r += cfg.RStep
 		res.Escalations++
 		if r >= cfg.RMax {
-			res.Selected = leastDrifted(frames, candidates, cfg, rng)
+			res.Selected = entries[leastDriftedIdx(traces, active)]
 			return res
 		}
 	}
 }
 
-// leastDrifted returns the candidate whose martingale ends lowest on the
-// window — the closest distributional match.
-func leastDrifted(frames []vidsim.Frame, candidates []*ModelEntry, cfg MSBIConfig, rng *stats.RNG) *ModelEntry {
-	var best *ModelEntry
+// leastDriftedIdx returns the candidate whose martingale ends lowest on
+// the window — the closest distributional match. The final martingale
+// value is significance-independent, so the memoized trace answers this
+// directly.
+func leastDriftedIdx(traces []*modelTrace, active []int) int {
+	best := -1
 	bestVal := 0.0
-	for _, e := range candidates {
-		di := NewDriftInspector(e, cfg.DI, rng.Split())
-		for _, f := range frames {
-			di.ObserveFrame(f)
-		}
-		if best == nil || di.MartingaleValue() < bestVal {
-			best = e
-			bestVal = di.MartingaleValue()
+	for _, ci := range active {
+		if v := traces[ci].finalMart; best < 0 || v < bestVal {
+			best = ci
+			bestVal = v
 		}
 	}
 	return best

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"videodrift/internal/classifier"
+	"videodrift/internal/parallel"
 	"videodrift/internal/stats"
 	"videodrift/internal/telemetry"
 )
@@ -12,6 +13,10 @@ import (
 // (Algorithm 3).
 type MSBOConfig struct {
 	WT int // post-drift frames evaluated (§6.2)
+	// Workers bounds the goroutines scoring candidate ensembles (<= 0
+	// uses GOMAXPROCS). Brier scoring consumes no randomness, so the
+	// selection is identical for any worker count.
+	Workers int
 }
 
 // DefaultMSBOConfig returns the paper's W_T = 10.
@@ -53,9 +58,13 @@ func (t MSBOThresholds) Threshold(name string) (float64, bool) {
 // back to an absolute Brier bound).
 func CalibrateMSBO(entries []*ModelEntry) MSBOThresholds {
 	th := MSBOThresholds{PCAvg: map[string]float64{}, Sigma: map[string]float64{}}
-	for _, k := range entries {
+	// The m×(m−1) cross-scores are independent; compute each model's row
+	// concurrently and fold the results serially in registry order.
+	rows := make([][]float64, len(entries))
+	parallel.New(0).ForEach(len(entries), func(i int) {
+		k := entries[i]
 		if k.Ensemble == nil {
-			continue
+			return
 		}
 		var briers []float64
 		for _, other := range entries {
@@ -64,11 +73,14 @@ func CalibrateMSBO(entries []*ModelEntry) MSBOThresholds {
 			}
 			briers = append(briers, k.Ensemble.AvgBrier(other.CalibSample))
 		}
-		if len(briers) == 0 {
+		rows[i] = briers
+	})
+	for i, k := range entries {
+		if len(rows[i]) == 0 {
 			continue
 		}
-		th.PCAvg[k.Name] = stats.Mean(briers)
-		th.Sigma[k.Name] = stats.StdDev(briers)
+		th.PCAvg[k.Name] = stats.Mean(rows[i])
+		th.Sigma[k.Name] = stats.StdDev(rows[i])
 	}
 	return th
 }
@@ -107,12 +119,23 @@ func MSBO(window []classifier.Sample, entries []*ModelEntry, th MSBOThresholds, 
 	frames := window[:n]
 	res.FramesUsed = n
 
+	// Score every ensemble concurrently, then fold serially in registry
+	// order so best-candidate ties resolve exactly as a serial scan.
+	briers := make([]float64, len(entries))
+	scored := make([]bool, len(entries))
+	parallel.New(cfg.Workers).ForEach(len(entries), func(i int) {
+		if entries[i].Ensemble == nil {
+			return
+		}
+		briers[i] = entries[i].Ensemble.AvgBrier(frames)
+		scored[i] = true
+	})
 	var best *ModelEntry
-	for _, e := range entries {
-		if e.Ensemble == nil {
+	for i, e := range entries {
+		if !scored[i] {
 			continue
 		}
-		b := e.Ensemble.AvgBrier(frames)
+		b := briers[i]
 		res.Briers[e.Name] = b
 		res.Candidates = append(res.Candidates, telemetry.Candidate{Model: e.Name, Brier: b})
 		if b < res.BestBrier {

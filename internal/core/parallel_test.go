@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"videodrift/internal/classifier"
+	"videodrift/internal/stats"
+	"videodrift/internal/vidsim"
+)
+
+// TestMSBIParallelDeterminism is the serial/parallel decision-identity
+// contract: for every drift scenario and any worker count, MSBI under a
+// fixed seed must select the same model, escalate the same number of
+// times, and report identical candidate outcomes — p-value tie-break
+// draws included.
+func TestMSBIParallelDeterminism(t *testing.T) {
+	f := getFixture()
+	entries := []*ModelEntry{f.day, f.night, f.rain}
+	scenarios := []struct {
+		name string
+		cond vidsim.Condition
+	}{
+		{"to-day", dayC()},
+		{"to-night", nightC()},
+		{"to-rain", rainC()},
+		{"to-novel-fog", fogCond()},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			window := streamFrames(sc.cond, 40, 101)
+			run := func(workers int) MSBIResult {
+				cfg := DefaultMSBIConfig()
+				cfg.Workers = workers
+				return MSBI(window, entries, cfg, stats.NewRNG(55))
+			}
+			serial := run(1)
+			for _, workers := range []int{2, 3, 8} {
+				got := run(workers)
+				if got.Selected != serial.Selected {
+					t.Fatalf("workers=%d: Selected = %v, serial = %v",
+						workers, name(got.Selected), name(serial.Selected))
+				}
+				if got.Escalations != serial.Escalations {
+					t.Fatalf("workers=%d: Escalations = %d, serial = %d",
+						workers, got.Escalations, serial.Escalations)
+				}
+				if len(got.Candidates) != len(serial.Candidates) {
+					t.Fatalf("workers=%d: %d candidates, serial %d",
+						workers, len(got.Candidates), len(serial.Candidates))
+				}
+				for i := range got.Candidates {
+					if got.Candidates[i] != serial.Candidates[i] {
+						t.Fatalf("workers=%d: candidate %d = %+v, serial %+v",
+							workers, i, got.Candidates[i], serial.Candidates[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMSBOParallelDeterminism checks the output-side selector the same
+// way: Brier scoring consumes no randomness, so every worker count must
+// produce identical briers and the same winner.
+func TestMSBOParallelDeterminism(t *testing.T) {
+	f := getFixture()
+	entries := []*ModelEntry{f.day, f.night, f.rain}
+	th := CalibrateMSBO(entries)
+	for _, sc := range []struct {
+		name string
+		cond vidsim.Condition
+	}{
+		{"to-night", nightC()},
+		{"to-novel-fog", fogCond()},
+	} {
+		t.Run(sc.name, func(t *testing.T) {
+			frames := streamFrames(sc.cond, 12, 77)
+			labeled := make([]classifier.Sample, len(frames))
+			for i, fr := range frames {
+				labeled[i] = f.day.QuerySample(fr, testLabeler(fr))
+			}
+			run := func(workers int) MSBOResult {
+				cfg := DefaultMSBOConfig()
+				cfg.Workers = workers
+				return MSBO(labeled, entries, th, cfg)
+			}
+			serial := run(1)
+			for _, workers := range []int{2, 8} {
+				got := run(workers)
+				if got.Selected != serial.Selected {
+					t.Fatalf("workers=%d: Selected = %v, serial = %v",
+						workers, name(got.Selected), name(serial.Selected))
+				}
+				if got.BestBrier != serial.BestBrier {
+					t.Fatalf("workers=%d: BestBrier = %v, serial = %v",
+						workers, got.BestBrier, serial.BestBrier)
+				}
+				for k, v := range serial.Briers {
+					if got.Briers[k] != v {
+						t.Fatalf("workers=%d: brier[%s] = %v, serial %v",
+							workers, k, got.Briers[k], v)
+					}
+				}
+			}
+		})
+	}
+}
+
+func name(e *ModelEntry) string {
+	if e == nil {
+		return "<train-new>"
+	}
+	return e.Name
+}

@@ -1,0 +1,101 @@
+// Package parallel provides the bounded fan-out primitives the selection
+// engine and the sharded monitor run on: a fixed-size worker pool with
+// deterministic RNG forking. Determinism is the design constraint — every
+// construct here guarantees that results are independent of the worker
+// count and of goroutine scheduling, so a parallel run is
+// decision-identical to a serial one under the same seed. The rule that
+// makes this work: any randomness a parallel task consumes is pre-split
+// from the caller's RNG serially, in task-index order, BEFORE the
+// fan-out; workers then touch only their own stream.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"videodrift/internal/stats"
+)
+
+// Pool is a bounded worker pool for CPU-bound fan-out. The zero value is
+// not ready to use; construct with New. A Pool is stateless between calls
+// and safe for concurrent use.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool running at most workers tasks concurrently.
+// workers <= 0 selects GOMAXPROCS.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// ForEach runs fn(0) … fn(n-1), at most Workers at a time, and returns
+// when all calls have finished. Tasks are claimed from a shared counter,
+// so completion order is unspecified — fn must not depend on it (write
+// results to out[i], don't append). A panic in any fn is re-raised on
+// the caller's goroutine after the remaining workers drain.
+func (p *Pool) ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicVal any
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicVal = r })
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+}
+
+// ForEachSeeded is ForEach for tasks that consume randomness: it forks
+// one child RNG per task from rng — serially, in index order, before any
+// worker starts — and hands task i its own stream. Task i therefore sees
+// the same draws whether the pool runs 1 worker or 100, which is what
+// keeps parallel selection decision-identical to serial under a fixed
+// seed.
+func (p *Pool) ForEachSeeded(n int, rng *stats.RNG, fn func(i int, rng *stats.RNG)) {
+	if n <= 0 {
+		return
+	}
+	rngs := make([]*stats.RNG, n)
+	for i := range rngs {
+		rngs[i] = rng.Split()
+	}
+	p.ForEach(n, func(i int) { fn(i, rngs[i]) })
+}

@@ -1,0 +1,86 @@
+package tensor
+
+// RefMatrix is a reference sample flattened into one contiguous row-major
+// buffer — the cache-friendly layout the hot kNN kernel iterates over.
+// A []Vector reference scatters rows across the heap (one allocation per
+// vector, pointer chase per row); flattening puts every row on the same
+// few cache lines so the distance kernel streams through memory linearly.
+// A RefMatrix is immutable after construction and safe for concurrent
+// readers, which is what lets many inspectors (and many stream shards)
+// share one provisioned reference sample.
+type RefMatrix struct {
+	n, dim int
+	data   []float64
+}
+
+// FlattenVectors copies equal-length vectors into a contiguous RefMatrix.
+// It panics on ragged input; an empty input yields an empty matrix.
+func FlattenVectors(vs []Vector) *RefMatrix {
+	if len(vs) == 0 {
+		return &RefMatrix{}
+	}
+	dim := len(vs[0])
+	m := &RefMatrix{n: len(vs), dim: dim, data: make([]float64, len(vs)*dim)}
+	for i, v := range vs {
+		if len(v) != dim {
+			panic("tensor: FlattenVectors with ragged rows")
+		}
+		copy(m.data[i*dim:(i+1)*dim], v)
+	}
+	return m
+}
+
+// Len returns the number of reference rows.
+func (m *RefMatrix) Len() int { return m.n }
+
+// Dim returns the row dimensionality.
+func (m *RefMatrix) Dim() int { return m.dim }
+
+// Row returns row i as a Vector sharing the matrix's backing storage.
+// Callers must not mutate it.
+func (m *RefMatrix) Row(i int) Vector { return Vector(m.data[i*m.dim : (i+1)*m.dim]) }
+
+// SqDistRow returns the squared Euclidean distance between x and row i.
+// The accumulation order matches Vector.Dist exactly, so sqrt(SqDistRow)
+// is bit-identical to x.Dist(m.Row(i)).
+func (m *RefMatrix) SqDistRow(x Vector, i int) float64 {
+	row := m.data[i*m.dim : i*m.dim+len(x)]
+	s := 0.0
+	for j, xv := range x {
+		d := xv - row[j]
+		s += d * d
+	}
+	return s
+}
+
+// sqDistBlock is the kernel's early-exit granularity: the partial sum is
+// checked against the bound once per block of coordinates, so pruning
+// costs one extra compare per block instead of one per element.
+const sqDistBlock = 8
+
+// SqDistRowBounded computes the squared distance between x and row i,
+// abandoning the row as soon as the partial sum exceeds bound (partial
+// sums of squares are monotone, so an abandoned row cannot be among the
+// rows within bound). It returns the full squared distance and true when
+// the row completed, or the partial sum and false when it was pruned.
+// Completed distances are bit-identical to SqDistRow: the bound check
+// never alters the accumulation itself.
+func (m *RefMatrix) SqDistRowBounded(x Vector, i int, bound float64) (float64, bool) {
+	row := m.data[i*m.dim : i*m.dim+len(x)]
+	s := 0.0
+	j := 0
+	for blockEnd := sqDistBlock; blockEnd < len(x); blockEnd += sqDistBlock {
+		for ; j < blockEnd; j++ {
+			d := x[j] - row[j]
+			s += d * d
+		}
+		if s > bound {
+			return s, false
+		}
+	}
+	for ; j < len(x); j++ {
+		d := x[j] - row[j]
+		s += d * d
+	}
+	return s, s <= bound
+}

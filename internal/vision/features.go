@@ -10,6 +10,7 @@
 package vision
 
 import (
+	"math"
 	"sort"
 
 	"videodrift/internal/tensor"
@@ -42,18 +43,56 @@ import (
 // appearance-sufficient statistic of the frame (DESIGN.md §2 discusses
 // the substitution).
 func Featurize(pixels tensor.Vector, w, h int) tensor.Vector {
+	out := make(tensor.Vector, AppearanceDim)
+	appearanceInto(pixels, out, nil, nil, nil)
+	return out
+}
+
+// AppearanceDim is the length of the vector Featurize returns.
+const AppearanceDim = 4
+
+// Featurizer computes the same appearance vector as Featurize while
+// reusing its outlier-pool and output scratch across calls — the
+// zero-steady-state-allocation form the per-frame monitoring hot path
+// uses. Outputs are bit-identical to Featurize. A Featurizer is NOT safe
+// for concurrent use; give each goroutine its own (the zero value is
+// ready to use).
+type Featurizer struct {
+	dark, bright, cand []float64
+	out                tensor.Vector
+}
+
+// Appearance featurizes one frame. The returned vector is the
+// Featurizer's internal buffer: it is overwritten by the next call, so
+// callers that retain it must Clone it.
+func (fz *Featurizer) Appearance(pixels tensor.Vector, w, h int) tensor.Vector {
+	if fz.out == nil {
+		fz.out = make(tensor.Vector, AppearanceDim)
+	}
+	fz.dark, fz.bright, fz.cand = appearanceInto(pixels, fz.out, fz.dark[:0], fz.bright[:0], fz.cand[:0])
+	return fz.out
+}
+
+// appearanceInto computes the appearance features into out, using (and
+// returning) the provided outlier-pool and candidate scratch.
+func appearanceInto(pixels tensor.Vector, out tensor.Vector, dark, bright, cand []float64) ([]float64, []float64, []float64) {
 	const madScale = 4.0
 	n := len(pixels)
-	med, sigma := medSigma(pixels)
+	if cand == nil {
+		cand = make([]float64, 0, 64)
+	}
+	med, sigma, cand := medSigmaCand(pixels, cand)
 	cut := 3 * sigma
 	if cut < 0.08 {
 		cut = 0.08
 	}
 
 	// Outlier pools: object/weather pixels on either side of the
-	// background.
-	var dark, bright []float64
-	for _, p := range pixels {
+	// background. Only the candidate superset (|p − med| > candCut <= cut,
+	// collected during the deviation pass) needs re-testing against the
+	// final cut; the pools come out in pixel order, exactly as a full
+	// re-scan would produce them.
+	for _, p := range cand {
 		d := p - med
 		if d > cut {
 			bright = append(bright, p)
@@ -75,12 +114,11 @@ func Featurize(pixels tensor.Vector, w, h int) tensor.Vector {
 		}
 		return p
 	}
-	out := make(tensor.Vector, 4)
 	out[0] = med
 	out[1] = madScale * sigma
 	out[2] = (medianOf(dark, med) - med) * presence(len(dark))
 	out[3] = (medianOf(bright, med) - med) * presence(len(bright))
-	return out
+	return dark, bright, cand
 }
 
 // medSigma returns the pixel median and the scaled median absolute
@@ -89,27 +127,43 @@ func Featurize(pixels tensor.Vector, w, h int) tensor.Vector {
 // here. Bin resolution is chosen so quantization stays well below the
 // features' natural in-distribution spread.
 func medSigma(pixels tensor.Vector) (med, sigma float64) {
+	med, sigma, _ = medSigmaCand(pixels, nil)
+	return med, sigma
+}
+
+// medSigmaCand computes med and sigma as medSigma does and, when cand is
+// non-nil, appends every pixel whose absolute deviation from med exceeds
+// candCut — a superset of any outlier pool with cut >= candCut, collected
+// during the deviation pass so Featurize needs no third full-frame scan.
+// Candidates preserve pixel order. Subsampling the histograms was tried
+// and rejected: even a half-population median (exact at bin granularity
+// for almost every frame) perturbs the martingale chain enough to flip
+// borderline drift decisions, so both passes stay full-population and
+// the speed comes from fusing and from the blocked quantile scans.
+func medSigmaCand(pixels tensor.Vector, cand []float64) (med, sigma float64, outCand []float64) {
 	const bins = 1024
-	var hist [bins]int
-	for _, p := range pixels {
-		b := int(p * bins)
-		if b >= bins {
-			b = bins - 1
-		} else if b < 0 {
-			b = 0
-		}
-		hist[b]++
+	var hist [bins]uint32
+	n := len(pixels)
+	// Unrolled ×4: the four bin computations are independent, so they
+	// overlap instead of serializing on the loop counter.
+	// The &(bins−1) masks are no-ops after the clamp (bins is a power of
+	// two); they let the compiler drop the bounds check on each increment.
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		b0 := clampBin(pixels[i], bins)
+		b1 := clampBin(pixels[i+1], bins)
+		b2 := clampBin(pixels[i+2], bins)
+		b3 := clampBin(pixels[i+3], bins)
+		hist[b0&(bins-1)]++
+		hist[b1&(bins-1)]++
+		hist[b2&(bins-1)]++
+		hist[b3&(bins-1)]++
 	}
-	half := (len(pixels) + 1) / 2
-	acc := 0
-	medBin := 0
-	for b, c := range hist {
-		acc += c
-		if acc >= half {
-			medBin = b
-			break
-		}
+	for ; i < n; i++ {
+		hist[clampBin(pixels[i], bins)&(bins-1)]++
 	}
+	half := uint32((n + 1) / 2)
+	medBin := cumFind(hist[:], half)
 	med = (float64(medBin) + 0.5) / bins
 	// Noise scale: the 35th percentile of |p − med|, scaled to estimate a
 	// Gaussian σ (q35 of |N(0,σ)| = 0.4538σ). The 35th percentile stays
@@ -120,28 +174,109 @@ func medSigma(pixels tensor.Vector) (med, sigma float64) {
 	// [0, 0.5] — the σ scale-up would otherwise amplify bin quantization
 	// into the feature itself.
 	const devBins = 2048
-	var dev [devBins]int
-	for _, p := range pixels {
-		d := p - med
-		if d < 0 {
-			d = -d
+	var dev [devBins]uint32
+	if cand == nil {
+		for _, p := range pixels {
+			dev[devBin(p, med, devBins)]++
 		}
-		b := int(d * 2 * devBins)
-		if b >= devBins {
-			b = devBins - 1
+	} else {
+		// Fused loop: the |p − med| the histogram bins is the same quantity
+		// the candidate test compares, so one pass does both. Unrolled ×2
+		// with the candidate tests kept in pixel order.
+		const devScale = 2 * float64(devBins)
+		i := 0
+		for ; i+2 <= n; i += 2 {
+			d0 := math.Abs(pixels[i] - med)
+			d1 := math.Abs(pixels[i+1] - med)
+			b0 := int(d0 * devScale)
+			b1 := int(d1 * devScale)
+			if b0 >= devBins {
+				b0 = devBins - 1
+			}
+			if b1 >= devBins {
+				b1 = devBins - 1
+			}
+			dev[b0&(devBins-1)]++
+			dev[b1&(devBins-1)]++
+			if d0 > candCut {
+				cand = append(cand, pixels[i])
+			}
+			if d1 > candCut {
+				cand = append(cand, pixels[i+1])
+			}
 		}
-		dev[b]++
+		for ; i < n; i++ {
+			d := math.Abs(pixels[i] - med)
+			b := int(d * devScale)
+			if b >= devBins {
+				b = devBins - 1
+			}
+			dev[b&(devBins-1)]++
+			if d > candCut {
+				cand = append(cand, pixels[i])
+			}
+		}
 	}
-	q35 := (len(pixels)*35 + 99) / 100
-	acc = 0
-	for b, c := range dev {
-		acc += c
-		if acc >= q35 {
-			sigma = (float64(b) + 0.5) / (2 * devBins) / 0.4538
+	q35 := uint32((n*35 + 99) / 100)
+	qBin := cumFind(dev[:], q35)
+	sigma = (float64(qBin) + 0.5) / (2 * devBins) / 0.4538
+	return med, sigma, cand
+}
+
+// cumFind returns the first index b with hist[0]+…+hist[b] >= target —
+// the quantile lookup both histogram scans perform. It walks the
+// cumulative sum in 8-bin blocks and refines inside the crossing block,
+// cutting the branchy per-bin loop ~8×; integer addition is associative,
+// so the result is identical to a per-bin scan. The final histogram bin
+// is returned when the total count never reaches target (only possible
+// for an all-skipped degenerate target of 0 pixels).
+func cumFind(hist []uint32, target uint32) int {
+	acc := uint32(0)
+	i := 0
+	for ; i+8 <= len(hist); i += 8 {
+		s := hist[i] + hist[i+1] + hist[i+2] + hist[i+3] +
+			hist[i+4] + hist[i+5] + hist[i+6] + hist[i+7]
+		if acc+s >= target {
 			break
 		}
+		acc += s
 	}
-	return med, sigma
+	for ; i < len(hist); i++ {
+		acc += hist[i]
+		if acc >= target {
+			return i
+		}
+	}
+	return len(hist) - 1
+}
+
+// candCut is the candidate-collection threshold of medSigmaCand: the
+// outlier cut is max(3σ, 0.08) >= 0.08, so pixels within candCut of the
+// median can never reach an outlier pool.
+const candCut = 0.08
+
+// clampBin maps a pixel in [0,1) to its histogram bin, clamping
+// out-of-range values into [0, bins).
+func clampBin(p float64, bins int) int {
+	b := int(p * float64(bins))
+	if b >= bins {
+		b = bins - 1
+	} else if b < 0 {
+		b = 0
+	}
+	return b
+}
+
+// devBin maps a pixel's absolute deviation from med onto the deviation
+// grid over [0, 0.5). math.Abs is branchless — the deviation's sign is
+// noise, and a 50/50 branch on it would mispredict constantly.
+func devBin(p, med float64, devBins int) int {
+	d := math.Abs(p - med)
+	b := int(d * 2 * float64(devBins))
+	if b >= devBins {
+		b = devBins - 1
+	}
+	return b
 }
 
 // medianOf returns the median of xs, or fallback when xs is empty. The

@@ -150,3 +150,37 @@ func TestMedianOf(t *testing.T) {
 		t.Error("median wrong")
 	}
 }
+
+// TestFeaturizerMatchesFeaturize pins the scratch-reuse fast path to the
+// allocating reference: outputs must be bit-identical across a spread of
+// frames, and consecutive calls must not contaminate each other through
+// the reused buffers.
+func TestFeaturizerMatchesFeaturize(t *testing.T) {
+	var fz Featurizer
+	for _, cond := range []vidsim.Condition{vidsim.Day(), vidsim.Night(), vidsim.RainCond()} {
+		g := vidsim.NewSceneGenerator(cond, 32, 32, stats.NewRNG(77))
+		for i := 0; i < 50; i++ {
+			f := g.Next()
+			want := Featurize(f.Pixels, f.W, f.H)
+			got := fz.Appearance(f.Pixels, f.W, f.H)
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("%s frame %d dim %d: Featurizer %v != Featurize %v", cond.Name, i, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestFeaturizerSteadyStateAllocs asserts the hot path stops allocating
+// once the scratch buffers have grown to the frame's outlier pool size.
+func TestFeaturizerSteadyStateAllocs(t *testing.T) {
+	g := vidsim.NewSceneGenerator(vidsim.Day(), 32, 32, stats.NewRNG(78))
+	f := g.Next()
+	var fz Featurizer
+	fz.Appearance(f.Pixels, f.W, f.H) // warm the scratch
+	allocs := testing.AllocsPerRun(100, func() { fz.Appearance(f.Pixels, f.W, f.H) })
+	if allocs != 0 {
+		t.Errorf("steady-state Appearance allocates %v objects/op, want 0", allocs)
+	}
+}

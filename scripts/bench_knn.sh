@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Runs the hot-path benchmarks behind the kNN kernel and the parallel
+# selection engine (kNN scoring brute vs fast, Drift Inspector observe,
+# MSBI worker/model scaling, sharded monitoring throughput) and writes
+# the results as machine-readable JSON.
+#
+# Usage:  scripts/bench_knn.sh [out.json]
+#   BENCHTIME=200ms COUNT=3 scripts/bench_knn.sh   # quicker / repeated runs
+#
+# Output (default BENCH_knn.json): one entry per benchmark line with the
+# parsed iteration count and every reported metric (ns/op, B/op,
+# allocs/op, ns/frame) keyed by a JSON-safe unit name.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_knn.json}"
+benchtime="${BENCHTIME:-1s}"
+count="${COUNT:-1}"
+
+raw=$(go test -run=NONE \
+	-bench 'KNNScore|DriftInspectorObserve|Featurize$|MSBIParallel|ShardedThroughput' \
+	-benchtime "$benchtime" -count "$count" .)
+printf '%s\n' "$raw" >&2
+
+printf '%s\n' "$raw" | awk -v date="$(date -u +%FT%TZ)" '
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^cpu:/    { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	entry = sprintf("{\"name\":\"%s\",\"iterations\":%s", name, $2)
+	for (i = 3; i + 1 <= NF; i += 2) {
+		unit = $(i + 1)
+		if (unit == "ns/op")          key = "ns_per_op"
+		else if (unit == "B/op")      key = "bytes_per_op"
+		else if (unit == "allocs/op") key = "allocs_per_op"
+		else {
+			key = unit
+			gsub(/\//, "_per_", key)
+			gsub(/[^A-Za-z0-9_]/, "_", key)
+		}
+		entry = entry sprintf(",\"%s\":%s", key, $i)
+	}
+	entries[n++] = entry "}"
+}
+END {
+	printf "{\n"
+	printf "  \"generated\": \"%s\",\n", date
+	printf "  \"goos\": \"%s\",\n", goos
+	printf "  \"goarch\": \"%s\",\n", goarch
+	printf "  \"cpu\": \"%s\",\n", cpu
+	printf "  \"benchmarks\": [\n"
+	for (i = 0; i < n; i++)
+		printf "    %s%s\n", entries[i], (i < n - 1 ? "," : "")
+	printf "  ]\n}\n"
+}
+' >"$out"
+echo "wrote $out" >&2

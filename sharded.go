@@ -1,0 +1,114 @@
+package videodrift
+
+import (
+	"fmt"
+
+	"videodrift/internal/core"
+	"videodrift/internal/parallel"
+)
+
+// ShardedOptions configures a ShardedMonitor: the per-shard monitor
+// options plus the fan-out shape.
+type ShardedOptions struct {
+	Options
+	// Shards is the number of independent streams (camera feeds) driven
+	// over the shared model registry. Must be >= 1.
+	Shards int
+	// Workers bounds the goroutines ProcessBatch fans out on (<= 0 uses
+	// GOMAXPROCS). Shard decisions are independent of the worker count:
+	// each shard owns its pipeline, RNG stream and martingale state.
+	Workers int
+	// Tracers optionally attaches one telemetry tracer per shard
+	// (len(Tracers) must be >= Shards when set), so per-stream drift
+	// events and stage latencies stay separable. When nil, the embedded
+	// Options.Tracer — which is safe for concurrent use — is shared by
+	// every shard, or tracing is off if that is nil too.
+	Tracers []*Tracer
+}
+
+// ShardedMonitor drives N independent video streams over one shared set
+// of provisioned models — the multi-camera deployment shape of the
+// paper's setting (one registry of per-condition models, many feeds
+// hitting it). Each shard is a full Monitor: its own deployed model,
+// Drift Inspector, martingale and selection state, seeded independently
+// (base seed + shard index) so runs are reproducible per shard. Shards
+// share the read-only expensive state — reference feature matrices,
+// calibration scores, classifier weights — so memory and provisioning
+// cost stay O(models), not O(models × shards).
+type ShardedMonitor struct {
+	shards []*Monitor
+	pool   *parallel.Pool
+}
+
+// NewShardedMonitor builds one monitor per shard over the shared models.
+// Every shard starts with the registry's first model deployed, exactly
+// like NewMonitor; shard i's pipeline runs on seed Options.Pipeline.Seed
+// + i.
+func NewShardedMonitor(models []*Model, labeler Labeler, opts ShardedOptions) *ShardedMonitor {
+	if opts.Shards < 1 {
+		panic("videodrift: NewShardedMonitor needs Shards >= 1")
+	}
+	if opts.Tracers != nil && len(opts.Tracers) < opts.Shards {
+		panic(fmt.Sprintf("videodrift: %d tracers for %d shards", len(opts.Tracers), opts.Shards))
+	}
+	sm := &ShardedMonitor{
+		shards: make([]*Monitor, opts.Shards),
+		pool:   parallel.New(opts.Workers),
+	}
+	// Warm the shared feature matrices once, outside the fan-out, so no
+	// shard pays the flatten on its first frame.
+	for _, m := range models {
+		m.FeatMatrix()
+	}
+	for i := range sm.shards {
+		shardOpts := opts.Options
+		shardOpts.Pipeline.Seed += int64(i)
+		if opts.Tracers != nil {
+			shardOpts.Tracer = opts.Tracers[i]
+		}
+		sm.shards[i] = NewMonitor(models, labeler, shardOpts)
+	}
+	return sm
+}
+
+// Shards returns the number of streams the monitor drives.
+func (sm *ShardedMonitor) Shards() int { return len(sm.shards) }
+
+// Shard returns the monitor driving stream i — use it for per-shard
+// queries (Current, Models, Telemetry). The returned Monitor must not be
+// fed frames concurrently with ProcessBatch.
+func (sm *ShardedMonitor) Shard(i int) *Monitor { return sm.shards[i] }
+
+// ProcessBatch runs one frame per shard concurrently: frames[i] goes to
+// shard i, and the returned events line up index-for-index. len(frames)
+// must equal Shards. The fan-out is bounded by Workers; each shard's
+// event stream is identical to feeding its Monitor serially.
+func (sm *ShardedMonitor) ProcessBatch(frames []Frame) []Event {
+	if len(frames) != len(sm.shards) {
+		panic(fmt.Sprintf("videodrift: ProcessBatch with %d frames for %d shards", len(frames), len(sm.shards)))
+	}
+	events := make([]Event, len(frames))
+	sm.pool.ForEach(len(frames), func(i int) {
+		events[i] = sm.shards[i].Process(frames[i])
+	})
+	return events
+}
+
+// ShardStats returns shard i's metrics.
+func (sm *ShardedMonitor) ShardStats(i int) Metrics { return sm.shards[i].Stats() }
+
+// Stats aggregates metrics across all shards.
+func (sm *ShardedMonitor) Stats() Metrics {
+	var total core.Metrics
+	for _, m := range sm.shards {
+		s := m.Stats()
+		total.Frames += s.Frames
+		total.ModelInvocations += s.ModelInvocations
+		total.DriftsDetected += s.DriftsDetected
+		total.ModelsSelected += s.ModelsSelected
+		total.ModelsTrained += s.ModelsTrained
+		total.SelectingFrames += s.SelectingFrames
+		total.TrainingFrames += s.TrainingFrames
+	}
+	return total
+}
