@@ -1,0 +1,163 @@
+package videodrift
+
+import (
+	"fmt"
+	"time"
+
+	"videodrift/internal/core"
+	"videodrift/internal/parallel"
+	"videodrift/internal/store"
+)
+
+// Checkpoint is a serializable snapshot of a monitor's complete state:
+// every provisioned model (weights, reference samples, calibration
+// scores) plus each stream shard's exact runtime position (deployed
+// model, martingale, RNG streams, buffered frames). Resuming from a
+// checkpoint reproduces the uninterrupted run bit-for-bit: every
+// subsequent drift declaration, model selection and trained model is
+// identical.
+type Checkpoint = store.Checkpoint
+
+// CheckpointStore manages a directory of rotated, atomically written
+// checkpoint files (see internal/store and DESIGN.md §9 for the on-disk
+// format).
+type CheckpointStore = store.Store
+
+// CheckpointInfo describes a checkpoint file without rebuilding the
+// models in it — what `drifttool inspect` prints.
+type CheckpointInfo = store.Description
+
+// ErrNoCheckpoint reports a store directory with no checkpoint to
+// resume from (a cold start).
+var ErrNoCheckpoint = store.ErrNoCheckpoint
+
+// OpenStore opens (creating if needed) a checkpoint directory.
+func OpenStore(dir string) (*CheckpointStore, error) { return store.Open(dir) }
+
+// LoadCheckpoint reads and verifies one checkpoint file. Damage —
+// truncation, bit flips, unknown versions — surfaces as typed errors
+// (store.ErrTruncated, store.ErrChecksum, *store.VersionError), never a
+// panic.
+func LoadCheckpoint(path string) (*Checkpoint, error) { return store.LoadPath(path) }
+
+// InspectCheckpoint summarizes a checkpoint file cheaply.
+func InspectCheckpoint(path string) (*CheckpointInfo, error) { return store.Inspect(path) }
+
+// Checkpoint captures the monitor's full state. The monitor must not be
+// processing frames concurrently with the capture; the snapshot is a
+// copy, so processing may continue the moment it returns.
+func (m *Monitor) Checkpoint() *Checkpoint {
+	entries := m.pipe.Registry().Entries()
+	refs := make([]int, len(entries))
+	for i := range refs {
+		refs[i] = i
+	}
+	return &Checkpoint{
+		CreatedUnixNano: time.Now().UnixNano(),
+		Frames:          int64(m.pipe.Metrics().Frames),
+		Entries:         entries,
+		Shards:          []store.ShardState{{Registry: refs, Pipeline: m.pipe.Snapshot()}},
+	}
+}
+
+// Resume rebuilds a single-stream Monitor from a checkpoint. The labeler
+// and options must match the original run's (the checkpoint stores
+// runtime state, not configuration); with matching options the resumed
+// monitor's event stream is bit-identical to the uninterrupted run's.
+func Resume(cp *Checkpoint, labeler Labeler, opts Options) (*Monitor, error) {
+	if len(cp.Shards) != 1 {
+		return nil, fmt.Errorf("videodrift: checkpoint holds %d shards; use ResumeSharded", len(cp.Shards))
+	}
+	return resumeShard(cp, 0, labeler, opts)
+}
+
+// resumeShard rebuilds shard i's Monitor over the checkpoint's shared
+// entry table.
+func resumeShard(cp *Checkpoint, i int, labeler Labeler, opts Options) (*Monitor, error) {
+	sh := cp.Shards[i]
+	if len(sh.Registry) == 0 {
+		return nil, fmt.Errorf("videodrift: shard %d has an empty registry", i)
+	}
+	ents := make([]*core.ModelEntry, len(sh.Registry))
+	for j, ref := range sh.Registry {
+		if ref < 0 || ref >= len(cp.Entries) {
+			return nil, fmt.Errorf("videodrift: shard %d references entry %d of %d", i, ref, len(cp.Entries))
+		}
+		ents[j] = cp.Entries[ref]
+	}
+	cfg := opts.Pipeline
+	cfg.Provision = opts.Provision
+	if opts.Tracer != nil {
+		cfg.Tracer = opts.Tracer
+	}
+	pipe, err := core.RestorePipeline(core.NewRegistry(ents...), labeler, cfg, sh.Pipeline)
+	if err != nil {
+		return nil, err
+	}
+	return &Monitor{pipe: pipe}, nil
+}
+
+// Checkpoint captures every shard's state plus the shared model table.
+// Models shared between shards (the provisioned set, and any entry added
+// to several registries) are stored once and restored shared. Do not
+// call concurrently with ProcessBatch.
+func (sm *ShardedMonitor) Checkpoint() *Checkpoint {
+	seen := make(map[*Model]int)
+	cp := &Checkpoint{CreatedUnixNano: time.Now().UnixNano()}
+	for _, m := range sm.shards {
+		entries := m.pipe.Registry().Entries()
+		refs := make([]int, len(entries))
+		for j, e := range entries {
+			idx, ok := seen[e]
+			if !ok {
+				idx = len(cp.Entries)
+				cp.Entries = append(cp.Entries, e)
+				seen[e] = idx
+			}
+			refs[j] = idx
+		}
+		if f := int64(m.pipe.Metrics().Frames); f > cp.Frames {
+			cp.Frames = f
+		}
+		cp.Shards = append(cp.Shards, store.ShardState{Registry: refs, Pipeline: m.pipe.Snapshot()})
+	}
+	return cp
+}
+
+// ResumeSharded rebuilds a ShardedMonitor from a checkpoint. The shard
+// count comes from the checkpoint; opts.Shards must be zero or equal to
+// it. The worker count is free to differ — shard decisions are
+// independent of the fan-out shape, so determinism holds at any Workers
+// setting.
+func ResumeSharded(cp *Checkpoint, labeler Labeler, opts ShardedOptions) (*ShardedMonitor, error) {
+	n := len(cp.Shards)
+	if n == 0 {
+		return nil, fmt.Errorf("videodrift: checkpoint holds no shards")
+	}
+	if opts.Shards != 0 && opts.Shards != n {
+		return nil, fmt.Errorf("videodrift: checkpoint holds %d shards, options ask for %d", n, opts.Shards)
+	}
+	if opts.Tracers != nil && len(opts.Tracers) < n {
+		return nil, fmt.Errorf("videodrift: %d tracers for %d shards", len(opts.Tracers), n)
+	}
+	sm := &ShardedMonitor{
+		shards: make([]*Monitor, n),
+		pool:   parallel.New(opts.Workers),
+	}
+	// Warm the shared feature matrices once, as NewShardedMonitor does.
+	for _, e := range cp.Entries {
+		e.FeatMatrix()
+	}
+	for i := range sm.shards {
+		shardOpts := opts.Options
+		if opts.Tracers != nil {
+			shardOpts.Tracer = opts.Tracers[i]
+		}
+		m, err := resumeShard(cp, i, labeler, shardOpts)
+		if err != nil {
+			return nil, err
+		}
+		sm.shards[i] = m
+	}
+	return sm, nil
+}

@@ -1,0 +1,199 @@
+package videodrift
+
+import (
+	"sync"
+	"testing"
+
+	"videodrift/internal/vidsim"
+)
+
+var (
+	ckptOnce   sync.Once
+	ckptModels []*Model
+)
+
+// getCkptModels provisions the shared day/night pair once for all
+// checkpoint tests.
+func getCkptModels() []*Model {
+	ckptOnce.Do(func() {
+		opts := Defaults(facadeDim, facadeClasses)
+		ckptModels = []*Model{
+			BuildModel("day", facadeFrames(facadeCond(vidsim.Day()), 200, 41), facadeLabeler, opts),
+			BuildModel("night", facadeFrames(facadeCond(vidsim.Night()), 200, 42), facadeLabeler, opts),
+		}
+	})
+	return ckptModels
+}
+
+// driftStream builds a per-shard live stream that starts in-distribution
+// (day) and drifts to night at the given offset.
+func driftStream(total, driftAt int, seed int64) []Frame {
+	return append(
+		vidsim.GenerateTrainingStride(facadeCond(vidsim.Day()), 16, 16, driftAt, 1, seed),
+		vidsim.GenerateTrainingStride(facadeCond(vidsim.Night()), 16, 16, total-driftAt, 1, seed+1000)...)
+}
+
+// runBatches feeds streams[s][from:to] to shard s and collects the
+// per-shard events.
+func runBatches(sm *ShardedMonitor, streams [][]Frame, from, to int) [][]Event {
+	out := make([][]Event, len(streams))
+	batch := make([]Frame, len(streams))
+	for step := from; step < to; step++ {
+		for s := range streams {
+			batch[s] = streams[s][step]
+		}
+		for s, ev := range sm.ProcessBatch(batch) {
+			out[s] = append(out[s], ev)
+		}
+	}
+	return out
+}
+
+// TestRestartDeterminism is the subsystem's headline guarantee:
+// checkpointing mid-stream — through the real on-disk store, not an
+// in-memory copy — and resuming produces a monitor whose remaining event
+// stream is bit-identical to the uninterrupted run's, for both selectors
+// and at 1 and 4 shards. The cut lands after some shards have drifted
+// and before others, so monitoring, post-drift selection and freshly
+// switched deployments all cross the restart boundary.
+func TestRestartDeterminism(t *testing.T) {
+	models := getCkptModels()
+	const total, cut = 200, 100
+
+	for _, tc := range []struct {
+		name     string
+		selector Selector
+		shards   int
+	}{
+		{"msbi-shards1", MSBI, 1},
+		{"msbi-shards4", MSBI, 4},
+		{"msbo-shards1", MSBO, 1},
+		{"msbo-shards4", MSBO, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := Defaults(facadeDim, facadeClasses)
+			opts.Pipeline.Selector = tc.selector
+			sopts := ShardedOptions{Options: opts, Shards: tc.shards, Workers: 2}
+
+			streams := make([][]Frame, tc.shards)
+			for s := range streams {
+				// Shard drift offsets straddle the cut point.
+				streams[s] = driftStream(total, 60+25*s, int64(300+10*s))
+			}
+
+			ref := NewShardedMonitor(models, facadeLabeler, sopts)
+			want := runBatches(ref, streams, 0, total)
+
+			first := NewShardedMonitor(models, facadeLabeler, sopts)
+			got := runBatches(first, streams, 0, cut)
+
+			st, err := OpenStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := st.Save(first.Checkpoint()); err != nil {
+				t.Fatalf("Save: %v", err)
+			}
+			cp, path, err := st.LoadLatest()
+			if err != nil {
+				t.Fatalf("LoadLatest: %v", err)
+			}
+			resumed, err := ResumeSharded(cp, facadeLabeler, sopts)
+			if err != nil {
+				t.Fatalf("ResumeSharded(%s): %v", path, err)
+			}
+			for s, evs := range runBatches(resumed, streams, cut, total) {
+				got[s] = append(got[s], evs...)
+			}
+
+			for s := 0; s < tc.shards; s++ {
+				if len(got[s]) != len(want[s]) {
+					t.Fatalf("shard %d: %d events, want %d", s, len(got[s]), len(want[s]))
+				}
+				for step := range want[s] {
+					if got[s][step] != want[s][step] {
+						t.Fatalf("shard %d frame %d: resumed event %+v, uninterrupted %+v",
+							s, step, got[s][step], want[s][step])
+					}
+				}
+				if a, b := resumed.Shard(s).Current(), ref.Shard(s).Current(); a != b {
+					t.Errorf("shard %d: resumed deployed %q, uninterrupted %q", s, a, b)
+				}
+				if a, b := resumed.ShardStats(s), ref.ShardStats(s); a != b {
+					t.Errorf("shard %d: resumed stats %+v, uninterrupted %+v", s, a, b)
+				}
+			}
+			// The interesting runs are the ones where something happened.
+			if ref.Stats().DriftsDetected == 0 {
+				t.Error("no shard detected its drift; the test exercised nothing")
+			}
+		})
+	}
+}
+
+// TestMonitorCheckpointResume covers the single-stream facade path
+// (Monitor.Checkpoint / Resume) including an encode round-trip.
+func TestMonitorCheckpointResume(t *testing.T) {
+	models := getCkptModels()
+	opts := Defaults(facadeDim, facadeClasses)
+	stream := driftStream(200, 80, 500)
+
+	ref := NewMonitor(models, facadeLabeler, opts)
+	var want []Event
+	for _, f := range stream {
+		want = append(want, ref.Process(f))
+	}
+
+	m := NewMonitor(models, facadeLabeler, opts)
+	var got []Event
+	const cut = 90
+	for _, f := range stream[:cut] {
+		got = append(got, m.Process(f))
+	}
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := st.Save(m.Checkpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Resume(cp, facadeLabeler, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range stream[cut:] {
+		got = append(got, resumed.Process(f))
+	}
+
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("frame %d: resumed event %+v, uninterrupted %+v", i, got[i], want[i])
+		}
+	}
+	if resumed.Current() != ref.Current() {
+		t.Errorf("resumed deployed %q, uninterrupted %q", resumed.Current(), ref.Current())
+	}
+	if a, b := resumed.Stats(), ref.Stats(); a != b {
+		t.Errorf("resumed stats %+v, uninterrupted %+v", a, b)
+	}
+	if ref.Stats().DriftsDetected == 0 {
+		t.Error("reference run never drifted; the test exercised nothing")
+	}
+
+	// A sharded checkpoint must refuse the single-stream Resume.
+	smCp := NewShardedMonitor(models, facadeLabeler,
+		ShardedOptions{Options: opts, Shards: 2}).Checkpoint()
+	if _, err := Resume(smCp, facadeLabeler, opts); err == nil {
+		t.Error("Resume accepted a 2-shard checkpoint")
+	}
+	// And a shard-count mismatch must be rejected.
+	if _, err := ResumeSharded(smCp, facadeLabeler,
+		ShardedOptions{Options: opts, Shards: 3}); err == nil {
+		t.Error("ResumeSharded accepted a shard-count mismatch")
+	}
+}

@@ -18,7 +18,9 @@
 //	/events    the retained structured events (drifts, selections,
 //	           trainings, deployments), optionally ?kind=drift_declared
 //	           and/or ?shard=k
-//	/healthz   liveness plus frames-processed progress and shard count
+//	/healthz   liveness plus frames-processed progress, shard count and
+//	           checkpoint freshness (503 when checkpointing is enabled
+//	           and the last checkpoint is more than 3 intervals old)
 //	/debug/pprof/…  the standard net/http/pprof profiles
 //
 // Usage:
@@ -26,22 +28,38 @@
 //	driftserve [-addr :9090] [-dataset bdd|detrac|tokyo|slow] [-scale 0.02]
 //	           [-selector msbo|msbi] [-train 300] [-shards 1] [-workers 0]
 //	           [-fps 240] [-frames 0] [-ring 4096] [-perframe] [-v]
+//	           [-state-dir dir] [-checkpoint-every 30s]
 //
 // Streams loop forever (a fresh seed per lap keeps drifts coming) unless
 // -frames bounds the total; -fps throttles each shard's rate (0 runs
 // unthrottled).
+//
+// With -state-dir, driftserve periodically persists a full checkpoint —
+// every model (weights, reference samples, calibration) plus each
+// shard's exact stream position — and flushes a final one on SIGTERM or
+// SIGINT. On startup it warm-restarts from the newest intact checkpoint
+// in that directory: provisioning is skipped, each shard's stream is
+// fast-forwarded to where it left off, and the resumed run emits exactly
+// the drift declarations and selections the uninterrupted run would
+// have. Damaged checkpoint files (truncation, bit flips, version
+// mismatches) are detected by checksum and skipped in favor of the
+// previous good generation.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"strconv"
+	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"videodrift"
@@ -66,6 +84,8 @@ func main() {
 	ring := flag.Int("ring", 4096, "telemetry event-ring capacity per shard")
 	perFrame := flag.Bool("perframe", false, "also ring per-frame FrameObserved/MartingaleUpdate events")
 	verbose := flag.Bool("v", false, "log drift/selection events to stderr as they happen")
+	stateDir := flag.String("state-dir", "", "checkpoint directory for persistence and warm restart (empty = off)")
+	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "background checkpoint interval (needs -state-dir)")
 	flag.Parse()
 
 	var ds *dataset.Dataset
@@ -93,9 +113,44 @@ func main() {
 	cfg.Scale = *scale
 	cfg.TrainFrames = *train
 
-	fmt.Fprintf(os.Stderr, "provisioning %d models for %s (%d training frames each)...\n",
-		len(ds.Sequences), ds.Name, cfg.TrainFrames)
-	env := experiments.BuildEnv(ds, cfg, query.Count)
+	// With -state-dir, try a warm restart from the newest intact
+	// checkpoint before paying for provisioning. LoadLatest already skips
+	// damaged generations; if every generation is damaged we cold-start
+	// rather than refuse to serve.
+	var st *videodrift.CheckpointStore
+	var cp *videodrift.Checkpoint
+	if *stateDir != "" {
+		var err error
+		st, err = videodrift.OpenStore(*stateDir)
+		if err != nil {
+			log.Fatalf("opening state dir: %v", err)
+		}
+		var path string
+		cp, path, err = st.LoadLatest()
+		switch {
+		case err == nil:
+			fmt.Fprintf(os.Stderr, "warm restart from %s: frame %d, %d models, %d shards\n",
+				path, cp.Frames, len(cp.Entries), len(cp.Shards))
+		case errors.Is(err, videodrift.ErrNoCheckpoint):
+			cp = nil // cold start, persistence on
+		default:
+			log.Printf("no usable checkpoint (%v); cold-starting", err)
+			cp = nil
+		}
+	}
+	if cp != nil && len(cp.Shards) != *shards {
+		log.Printf("checkpoint holds %d shards; overriding -shards %d", len(cp.Shards), *shards)
+		*shards = len(cp.Shards)
+	}
+
+	var env *experiments.Env
+	if cp != nil {
+		env = experiments.BuildEnvShell(ds, cfg, query.Count)
+	} else {
+		fmt.Fprintf(os.Stderr, "provisioning %d models for %s (%d training frames each)...\n",
+			len(ds.Sequences), ds.Name, cfg.TrainFrames)
+		env = experiments.BuildEnv(ds, cfg, query.Count)
+	}
 
 	// One tracer per shard so each stream's drift history and latency
 	// distribution stay separable; shard 0 is the default view.
@@ -104,7 +159,7 @@ func main() {
 		tracers[i] = telemetry.New(telemetry.Config{RingSize: *ring, PerFrame: *perFrame})
 	}
 	pcfg := env.PipelineConfig(sel)
-	mon := videodrift.NewShardedMonitor(env.Registry.Entries(), env.Labeler(), videodrift.ShardedOptions{
+	sopts := videodrift.ShardedOptions{
 		Options: videodrift.Options{
 			// Keep the experiment env's recovery-path provisioning (fewer
 			// epochs, smaller ensemble) rather than the registry defaults.
@@ -114,11 +169,31 @@ func main() {
 		Shards:  *shards,
 		Workers: *workers,
 		Tracers: tracers,
-	})
+	}
+	var mon *videodrift.ShardedMonitor
+	if cp != nil {
+		var err error
+		mon, err = videodrift.ResumeSharded(cp, env.Labeler(), sopts)
+		if err != nil {
+			log.Fatalf("resuming from checkpoint: %v", err)
+		}
+	} else {
+		mon = videodrift.NewShardedMonitor(env.Registry.Entries(), env.Labeler(), sopts)
+	}
 
 	var processed atomic.Int64
+	processed.Store(int64(mon.Stats().Frames)) // nonzero after a warm restart
 	var done atomic.Bool
+
+	// The checkpoint scheduler may not touch the monitor while a batch is
+	// in flight; it asks the stream loop for a snapshot through ckptReq
+	// and the loop answers between batches. Once the loop exits (frame
+	// budget reached), streamDone unblocks direct captures.
+	ckptReq := make(chan chan *videodrift.Checkpoint)
+	streamDone := make(chan struct{})
+
 	go func() {
+		defer close(streamDone)
 		defer done.Store(true)
 		var throttle *time.Ticker
 		if *fps > 0 {
@@ -143,9 +218,25 @@ func main() {
 		}
 		for s := range streams {
 			streams[s] = newStream(s, 0)
+			// After a warm restart, fast-forward to where the shard left
+			// off: the lap-seed schedule is deterministic, so regenerating
+			// and discarding the already-processed frames lands the stream
+			// on exactly the frame the interrupted run would have seen next.
+			for skip := mon.Shard(s).Stats().Frames; skip > 0; skip-- {
+				if _, ok := streams[s].Next(); !ok {
+					laps[s]++
+					streams[s] = newStream(s, laps[s])
+					skip++ // this iteration consumed no frame
+				}
+			}
 		}
 		batch := make([]vidsim.Frame, *shards)
 		for {
+			select {
+			case reply := <-ckptReq:
+				reply <- mon.Checkpoint()
+			default:
+			}
 			for s := range streams {
 				f, ok := streams[s].Next()
 				for !ok {
@@ -177,6 +268,60 @@ func main() {
 			}
 		}
 	}()
+
+	// capture obtains a consistent checkpoint: through the stream loop's
+	// handshake while it is running, directly once it has exited.
+	capture := func() *videodrift.Checkpoint {
+		reply := make(chan *videodrift.Checkpoint, 1)
+		select {
+		case ckptReq <- reply:
+			return <-reply
+		case <-streamDone:
+			return mon.Checkpoint()
+		}
+	}
+
+	var lastCkpt atomic.Int64
+	lastCkpt.Store(time.Now().UnixNano()) // freshness clock starts at boot
+	var saveMu sync.Mutex
+	var framesAtSave atomic.Int64
+	framesAtSave.Store(-1)
+	saveCheckpoint := func(reason string) {
+		saveMu.Lock()
+		defer saveMu.Unlock()
+		n := processed.Load()
+		if n == framesAtSave.Load() {
+			return // nothing happened since the last save
+		}
+		start := time.Now()
+		path, err := st.Save(capture())
+		if err != nil {
+			log.Printf("checkpoint (%s): %v", reason, err)
+			return
+		}
+		d := time.Since(start)
+		lastCkpt.Store(time.Now().UnixNano())
+		framesAtSave.Store(n)
+		size := 0
+		if fi, err := os.Stat(path); err == nil {
+			size = int(fi.Size())
+		}
+		for _, tr := range tracers {
+			tr.CheckpointSaved(path, size, d)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "checkpoint (%s): %s, %d bytes in %v\n", reason, path, size, d)
+		}
+	}
+	if st != nil {
+		go func() {
+			tick := time.NewTicker(*ckptEvery)
+			defer tick.Stop()
+			for range tick.C {
+				saveCheckpoint("interval")
+			}
+		}()
+	}
 
 	// shardTracer resolves the ?shard=k query parameter (default 0).
 	shardTracer := func(w http.ResponseWriter, r *http.Request) *telemetry.Tracer {
@@ -237,8 +382,30 @@ func main() {
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, "{\"status\":\"ok\",\"streaming\":%v,\"shards\":%d,\"frames\":%d}\n",
-			!done.Load(), len(tracers), processed.Load())
+		resp := map[string]interface{}{
+			"status":    "ok",
+			"streaming": !done.Load(),
+			"shards":    len(tracers),
+			"frames":    processed.Load(),
+		}
+		code := http.StatusOK
+		if st != nil {
+			age := time.Since(time.Unix(0, lastCkpt.Load()))
+			resp["state_dir"] = st.Dir()
+			resp["last_checkpoint_age_seconds"] = age.Seconds()
+			resp["checkpoint_interval_seconds"] = ckptEvery.Seconds()
+			// A stopped stream stops producing checkpoints by design; only
+			// fail health when checkpoints should be flowing and are not.
+			if !done.Load() && age > 3*(*ckptEvery) {
+				resp["status"] = "degraded"
+				code = http.StatusServiceUnavailable
+			}
+		}
+		w.WriteHeader(code)
+		enc := json.NewEncoder(w)
+		if err := enc.Encode(resp); err != nil {
+			log.Printf("/healthz: %v", err)
+		}
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -255,5 +422,18 @@ func main() {
 	})
 
 	fmt.Fprintf(os.Stderr, "serving telemetry on %s (endpoints: /metrics /snapshot /events /healthz /debug/pprof/)\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	go func() {
+		log.Fatal(http.ListenAndServe(*addr, mux))
+	}()
+
+	// Block until SIGTERM/SIGINT; with persistence on, flush a final
+	// checkpoint so the next start resumes from the exact kill point.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	if st != nil {
+		fmt.Fprintf(os.Stderr, "%v: flushing final checkpoint to %s...\n", s, st.Dir())
+		saveCheckpoint("shutdown")
+	}
+	fmt.Fprintf(os.Stderr, "%v: exiting\n", s)
 }

@@ -5,6 +5,12 @@
 // Usage:
 //
 //	drifttool [-dataset bdd|detrac|tokyo|slow] [-scale 0.02] [-selector msbo|msbi] [-v]
+//	drifttool inspect <checkpoint>
+//
+// The inspect subcommand describes a checkpoint file written by
+// driftserve (or any videodrift.CheckpointStore): store format version,
+// per-model inventory with sizes and checksums, and each shard's stream
+// position. Damaged files report typed errors instead of partial output.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"videodrift/internal/dataset"
 	"videodrift/internal/experiments"
 	"videodrift/internal/query"
+	"videodrift/internal/store"
 )
 
 func main() {
@@ -27,6 +34,21 @@ func main() {
 	train := flag.Int("train", 300, "training frames per provisioned condition")
 	verbose := flag.Bool("v", false, "log per-sequence accuracy while streaming")
 	flag.Parse()
+
+	if flag.Arg(0) == "inspect" {
+		if flag.NArg() != 2 {
+			log.Fatal("usage: drifttool inspect <checkpoint>")
+		}
+		d, err := store.Inspect(flag.Arg(1))
+		if err != nil {
+			log.Fatalf("inspect %s: %v", flag.Arg(1), err)
+		}
+		d.WriteText(os.Stdout)
+		return
+	}
+	if flag.NArg() > 0 {
+		log.Fatalf("unknown subcommand %q (the only subcommand is inspect)", flag.Arg(0))
+	}
 
 	var ds *dataset.Dataset
 	switch *dsName {

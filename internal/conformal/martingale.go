@@ -126,6 +126,41 @@ func (c *CUSUM) WindowDelta() float64 {
 	return math.Abs(c.value - old)
 }
 
+// CUSUMState is a serializable copy of a CUSUM's mutable state, used by
+// checkpointing: the current value, the observation count, and the ring
+// of the last W pre-update values the windowed test reads.
+type CUSUMState struct {
+	Value float64
+	Count int
+	Ring  []float64
+}
+
+// State captures the martingale's current state. The returned ring is a
+// copy; mutating it does not affect the martingale.
+func (c *CUSUM) State() CUSUMState {
+	return CUSUMState{
+		Value: c.value,
+		Count: c.count,
+		Ring:  append([]float64(nil), c.ring...),
+	}
+}
+
+// SetState restores state captured by State into a martingale built with
+// the same window. It returns an error (and leaves the martingale
+// untouched) when the ring length does not match the window.
+func (c *CUSUM) SetState(s CUSUMState) error {
+	if len(s.Ring) != c.window {
+		return fmt.Errorf("conformal: CUSUM state ring has %d slots, window is %d", len(s.Ring), c.window)
+	}
+	if s.Count < 0 {
+		return fmt.Errorf("conformal: CUSUM state has negative count %d", s.Count)
+	}
+	c.value = s.Value
+	c.count = s.Count
+	copy(c.ring, s.Ring)
+	return nil
+}
+
 // Reset clears the martingale to its initial state.
 func (c *CUSUM) Reset() {
 	c.value = 0

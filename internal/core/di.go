@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"videodrift/internal/conformal"
@@ -165,4 +166,44 @@ func (di *DriftInspector) Reset() {
 	di.seen = 0
 	di.sampled = 0
 	di.pSum = 0
+}
+
+// DISnapshot is a serializable copy of a Drift Inspector's mutable
+// state: the martingale, the tie-break RNG's stream position, and the
+// frame counters. Together with the (externally supplied) DIConfig and
+// model entry it reconstructs the inspector bit-exactly.
+type DISnapshot struct {
+	Mart    conformal.CUSUMState
+	RNG     stats.RNGState
+	Seen    int
+	Sampled int
+	PSum    float64
+}
+
+// Snapshot captures the inspector's current state for checkpointing.
+func (di *DriftInspector) Snapshot() DISnapshot {
+	return DISnapshot{
+		Mart:    di.mart.State(),
+		RNG:     di.rng.State(),
+		Seen:    di.seen,
+		Sampled: di.sampled,
+		PSum:    di.pSum,
+	}
+}
+
+// RestoreDriftInspector rebuilds an inspector from a snapshot taken
+// against the same entry and config: every subsequent Observe returns
+// exactly what the snapshotted inspector would have returned.
+func RestoreDriftInspector(entry *ModelEntry, cfg DIConfig, snap DISnapshot) (*DriftInspector, error) {
+	if snap.Seen < 0 || snap.Sampled < 0 || snap.Sampled > snap.Seen {
+		return nil, fmt.Errorf("core: drift-inspector snapshot has inconsistent counters (seen=%d sampled=%d)", snap.Seen, snap.Sampled)
+	}
+	di := NewDriftInspector(entry, cfg, stats.ResumeRNG(snap.RNG))
+	if err := di.mart.SetState(snap.Mart); err != nil {
+		return nil, err
+	}
+	di.seen = snap.Seen
+	di.sampled = snap.Sampled
+	di.pSum = snap.PSum
+	return di, nil
 }

@@ -215,8 +215,12 @@ func (e *ModelEntry) FeatMatrix() *tensor.RefMatrix {
 }
 
 // Registry is the collection of provisioned models M_1 … M_m the Model
-// Selector chooses from.
+// Selector chooses from. A registry may be read by many goroutines (and,
+// with checkpointing, outlive the process that built it) while new
+// models trained after novel drifts are appended; every method is safe
+// for concurrent use. Entries themselves are immutable once provisioned.
 type Registry struct {
+	mu      sync.RWMutex
 	entries []*ModelEntry
 }
 
@@ -226,16 +230,32 @@ func NewRegistry(entries ...*ModelEntry) *Registry {
 }
 
 // Add appends an entry (e.g. a freshly trained model after a novel drift).
-func (r *Registry) Add(e *ModelEntry) { r.entries = append(r.entries, e) }
+func (r *Registry) Add(e *ModelEntry) {
+	r.mu.Lock()
+	r.entries = append(r.entries, e)
+	r.mu.Unlock()
+}
 
-// Entries returns the registry's entries in insertion order.
-func (r *Registry) Entries() []*ModelEntry { return r.entries }
+// Entries returns a snapshot of the registry's entries in insertion
+// order. The returned slice is the caller's; concurrent Adds do not
+// mutate it.
+func (r *Registry) Entries() []*ModelEntry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]*ModelEntry(nil), r.entries...)
+}
 
 // Len returns the number of provisioned models.
-func (r *Registry) Len() int { return len(r.entries) }
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
 
 // Get returns the entry with the given name, or nil.
 func (r *Registry) Get(name string) *ModelEntry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	for _, e := range r.entries {
 		if e.Name == name {
 			return e
@@ -246,6 +266,8 @@ func (r *Registry) Get(name string) *ModelEntry {
 
 // Names returns the entry names in insertion order.
 func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	names := make([]string, len(r.entries))
 	for i, e := range r.entries {
 		names[i] = e.Name
@@ -268,7 +290,16 @@ func (e *ModelEntry) QuerySample(f vidsim.Frame, label int) classifier.Sample {
 	return classifier.Sample{X: e.queryFn(f.Pixels, e.W, e.H), Label: label}
 }
 
+// QueryFn returns the classifier front-end the entry was provisioned
+// with (nil for unsupervised entries) — the checkpoint codec persists it
+// by registered name.
+func (e *ModelEntry) QueryFn() vision.FeatureFunc { return e.queryFn }
+
+// SetQueryFn installs the classifier front-end on a restored entry.
+func (e *ModelEntry) SetQueryFn(fn vision.FeatureFunc) { e.queryFn = fn }
+
 // String implements fmt.Stringer for diagnostics.
 func (r *Registry) String() string {
-	return fmt.Sprintf("Registry(%d models: %v)", r.Len(), r.Names())
+	names := r.Names()
+	return fmt.Sprintf("Registry(%d models: %v)", len(names), names)
 }

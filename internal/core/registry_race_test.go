@@ -1,0 +1,69 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"videodrift/internal/stats"
+)
+
+// TestRegistryConcurrentGrowth exercises the registry under the
+// checkpointed multi-shard shape: reader goroutines continuously take
+// registry snapshots and run MSBI selection over them (what shards do
+// after a drift) while the main goroutine grows the registry with newly
+// trained models. Run under -race, this pins down the Registry locking
+// contract.
+func TestRegistryConcurrentGrowth(t *testing.T) {
+	f := getFixture()
+	reg := NewRegistry(f.day)
+	window := streamFrames(nightC(), 15, 91)
+
+	const readers = 4
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := stats.NewRNG(seed)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				entries := reg.Entries()
+				if len(entries) == 0 {
+					t.Error("registry snapshot empty")
+					return
+				}
+				MSBI(window, entries, DefaultMSBIConfig(), rng)
+				_ = reg.Len()
+				_ = reg.Names()
+				_ = reg.Get("night")
+				_ = reg.String()
+			}
+		}(int64(40 + w))
+	}
+
+	reg.Add(f.night)
+	reg.Add(f.rain)
+	close(stop)
+	wg.Wait()
+
+	if reg.Len() != 3 {
+		t.Fatalf("registry has %d entries, want 3", reg.Len())
+	}
+	if got := reg.Names(); got[0] != "day" || got[1] != "night" || got[2] != "rain" {
+		t.Errorf("insertion order lost: %v", got)
+	}
+	if reg.Get("rain") != f.rain {
+		t.Error("Get(rain) returned the wrong entry")
+	}
+	// A snapshot taken before growth must not see later entries.
+	snap := reg.Entries()
+	reg.Add(f.day)
+	if len(snap) != 3 {
+		t.Errorf("snapshot mutated by a later Add: %d entries", len(snap))
+	}
+}

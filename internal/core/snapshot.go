@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"videodrift/internal/stats"
+	"videodrift/internal/vidsim"
+)
+
+// PipelineSnapshot is a serializable copy of a pipeline's mutable
+// runtime state. Together with the registry (persisted separately, since
+// entries are shared across shards), the labeler and the PipelineConfig,
+// RestorePipeline rebuilds a pipeline whose every subsequent Process
+// call returns exactly what the snapshotted pipeline would have
+// returned — drift declarations, selections and trained models included.
+type PipelineSnapshot struct {
+	// Current is the registry index (insertion order) of the deployed
+	// entry.
+	Current int
+	// State is the processing mode (0 monitoring, 1 selecting,
+	// 2 training), mirroring pipelineState.
+	State int
+	// Buffer holds the frames collected so far in the selecting or
+	// training state.
+	Buffer []vidsim.Frame
+	// Novel is the counter naming mid-stream-trained models.
+	Novel   int
+	Metrics Metrics
+	// RNG is the pipeline's tie-break generator position; DI is the
+	// deployed inspector's state.
+	RNG stats.RNGState
+	DI  DISnapshot
+}
+
+// Snapshot captures the pipeline's runtime state for checkpointing. The
+// buffer is copied, so the snapshot stays consistent while the pipeline
+// keeps processing frames afterwards.
+func (p *Pipeline) Snapshot() PipelineSnapshot {
+	cur := -1
+	for i, e := range p.reg.Entries() {
+		if e == p.current {
+			cur = i
+			break
+		}
+	}
+	return PipelineSnapshot{
+		Current: cur,
+		State:   int(p.state),
+		Buffer:  append([]vidsim.Frame(nil), p.buffer...),
+		Novel:   p.novel,
+		Metrics: p.metrics,
+		RNG:     p.rng.State(),
+		DI:      p.di.Snapshot(),
+	}
+}
+
+// RestorePipeline rebuilds a pipeline from a snapshot over the given
+// registry (which must contain the same entries, in the same order, as
+// when the snapshot was taken — the checkpoint store guarantees this).
+// The labeler and config play the same roles as in NewPipeline; the
+// config's Tracer may differ from the original run's (telemetry is
+// observational and restarts fresh).
+func RestorePipeline(reg *Registry, labeler Labeler, cfg PipelineConfig, snap PipelineSnapshot) (*Pipeline, error) {
+	if reg == nil || reg.Len() == 0 {
+		return nil, fmt.Errorf("core: RestorePipeline needs a non-empty registry")
+	}
+	if cfg.Selector == SelectorMSBO && labeler == nil {
+		return nil, fmt.Errorf("core: SelectorMSBO requires a labeler for the W_T window")
+	}
+	entries := reg.Entries()
+	if snap.Current < 0 || snap.Current >= len(entries) {
+		return nil, fmt.Errorf("core: snapshot deploys entry %d, registry has %d", snap.Current, len(entries))
+	}
+	if snap.State < int(stateMonitoring) || snap.State > int(stateTraining) {
+		return nil, fmt.Errorf("core: snapshot has unknown pipeline state %d", snap.State)
+	}
+	p := &Pipeline{
+		cfg:     cfg,
+		reg:     reg,
+		labeler: labeler,
+		rng:     stats.ResumeRNG(snap.RNG),
+		current: entries[snap.Current],
+		state:   pipelineState(snap.State),
+		buffer:  append([]vidsim.Frame(nil), snap.Buffer...),
+		novel:   snap.Novel,
+		metrics: snap.Metrics,
+	}
+	// MSBO thresholds are a pure function of the (bit-exactly restored)
+	// ensembles and calibration samples; recomputing reproduces them
+	// exactly instead of widening the checkpoint format.
+	p.th = CalibrateMSBO(entries)
+	di, err := RestoreDriftInspector(p.current, cfg.DI, snap.DI)
+	if err != nil {
+		return nil, err
+	}
+	p.di = di
+	p.di.SetTracer(cfg.Tracer)
+	return p, nil
+}

@@ -64,14 +64,25 @@ func provisionConfig(ds *dataset.Dataset, ann *query.Annotator, kind query.Kind,
 	return cfg
 }
 
+// BuildEnvShell prepares the environment — annotation oracle, provision
+// and pipeline configuration — without provisioning any models. It is
+// the warm-restart path: the models arrive from a checkpoint instead of
+// being trained, so the expensive per-sequence Provision calls are
+// skipped entirely. The returned Env's Registry is empty.
+func BuildEnvShell(ds *dataset.Dataset, cfg Config, kind query.Kind) *Env {
+	ann := query.NewAnnotator(cfg.MaxCount)
+	env := &Env{Cfg: cfg, DS: ds, Kind: kind, Annotator: ann}
+	env.Provision = provisionConfig(ds, ann, kind, cfg.Seed)
+	env.Registry = core.NewRegistry()
+	return env
+}
+
 // BuildEnv provisions one model per dataset sequence (trained on that
 // condition's training frames, annotated by the oracle — §5.4) and
 // assembles the registry the Model Selector chooses from.
 func BuildEnv(ds *dataset.Dataset, cfg Config, kind query.Kind) *Env {
-	ann := query.NewAnnotator(cfg.MaxCount)
-	env := &Env{Cfg: cfg, DS: ds, Kind: kind, Annotator: ann}
-	env.Provision = provisionConfig(ds, ann, kind, cfg.Seed)
-	labeler := core.Labeler(ann.Labeler(kind))
+	env := BuildEnvShell(ds, cfg, kind)
+	labeler := env.Labeler()
 
 	entries := make([]*core.ModelEntry, len(ds.Sequences))
 	for i := range ds.Sequences {

@@ -1,0 +1,144 @@
+package store
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"time"
+)
+
+// ModelInfo describes one persisted model entry without rebuilding it.
+type ModelInfo struct {
+	Name        string
+	W, H        int
+	FeatDim     int // dimensionality of the reference features
+	Samples     int // |Σ_Ti|
+	CalibScores int
+	HasVAE      bool
+	Supervised  bool // classifier + ensemble present
+	QueryFn     string
+	Bytes       int
+	CRC32       uint32
+}
+
+// ShardInfo describes one shard's persisted runtime position.
+type ShardInfo struct {
+	Frames   int // frames the shard's pipeline has processed
+	Sampled  int // frames folded into the deployed inspector's martingale
+	State    string
+	Deployed string // name of the deployed model
+	Models   int    // registry size
+	Buffered int    // frames held in the selection/training buffer
+}
+
+// Description is everything `drifttool inspect` reports about a
+// checkpoint file: envelope metadata, per-model inventory with
+// checksums, and per-shard stream positions.
+type Description struct {
+	Path            string
+	Version         uint16
+	PayloadBytes    int
+	PayloadCRC      uint32
+	CreatedUnixNano int64
+	Frames          int64
+	Models          []ModelInfo
+	Shards          []ShardInfo
+}
+
+var stateNames = [...]string{"monitoring", "selecting", "training"}
+
+// Inspect reads a checkpoint file and describes it without
+// reconstructing the heavyweight model objects, so it is fast even for
+// large registries and safe to point at damaged files (typed errors,
+// no panics).
+func Inspect(path string) (*Description, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	payload, err := decodeEnvelope(data)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := decodeRecord(payload)
+	if err != nil {
+		return nil, err
+	}
+	d := &Description{
+		Path:            path,
+		Version:         Version,
+		PayloadBytes:    len(payload),
+		PayloadCRC:      crc32.ChecksumIEEE(payload),
+		CreatedUnixNano: rec.CreatedUnixNano,
+		Frames:          rec.Frames,
+	}
+	names := make([]string, len(rec.Entries))
+	for i, blob := range rec.Entries {
+		er, err := decodeEntryRecord(blob)
+		if err != nil {
+			return nil, err
+		}
+		names[i] = er.Name
+		info := ModelInfo{
+			Name:        er.Name,
+			W:           er.W,
+			H:           er.H,
+			Samples:     len(er.Samples),
+			CalibScores: len(er.CalibRaw),
+			HasVAE:      er.VAE != nil,
+			Supervised:  er.Classifier != nil,
+			QueryFn:     er.QueryFn,
+			Bytes:       len(blob),
+			CRC32:       rec.EntryCRCs[i],
+		}
+		if len(er.SampleFeats) > 0 {
+			info.FeatDim = len(er.SampleFeats[0])
+		}
+		d.Models = append(d.Models, info)
+	}
+	for _, sh := range rec.Shards {
+		p := sh.Pipeline
+		info := ShardInfo{
+			Frames:   p.Metrics.Frames,
+			Sampled:  p.DI.Sampled,
+			Models:   len(sh.Registry),
+			Buffered: len(p.Buffer),
+		}
+		if p.State >= 0 && p.State < len(stateNames) {
+			info.State = stateNames[p.State]
+		} else {
+			info.State = fmt.Sprintf("state(%d)", p.State)
+		}
+		info.Deployed = names[sh.Registry[p.Current]]
+		d.Shards = append(d.Shards, info)
+	}
+	return d, nil
+}
+
+// WriteText renders the description in the layout `drifttool inspect`
+// prints.
+func (d *Description) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "checkpoint %s\n", d.Path)
+	fmt.Fprintf(w, "  format v%d, payload %d bytes, crc32 %08x\n", d.Version, d.PayloadBytes, d.PayloadCRC)
+	fmt.Fprintf(w, "  created %s, stream frames %d\n",
+		time.Unix(0, d.CreatedUnixNano).UTC().Format(time.RFC3339), d.Frames)
+	fmt.Fprintf(w, "  models (%d):\n", len(d.Models))
+	for _, m := range d.Models {
+		kind := "unsupervised"
+		if m.Supervised {
+			kind = "supervised/" + m.QueryFn
+		}
+		vae := ""
+		if m.HasVAE {
+			vae = " +vae"
+		}
+		fmt.Fprintf(w, "    %-16s %dx%d feat=%dd samples=%d calib=%d %s%s  %d bytes crc32 %08x\n",
+			m.Name, m.W, m.H, m.FeatDim, m.Samples, m.CalibScores, kind, vae, m.Bytes, m.CRC32)
+	}
+	fmt.Fprintf(w, "  shards (%d):\n", len(d.Shards))
+	for i, s := range d.Shards {
+		fmt.Fprintf(w, "    shard %d: frame %d (sampled %d) state=%s deployed=%q registry=%d buffered=%d\n",
+			i, s.Frames, s.Sampled, s.State, s.Deployed, s.Models, s.Buffered)
+	}
+}

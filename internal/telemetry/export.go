@@ -34,6 +34,11 @@ type Snapshot struct {
 	Selections        uint64            `json:"selections_resolved"`
 	ModelsTrained     uint64            `json:"models_trained"`
 	Deployments       uint64            `json:"model_deployments"`
+	Checkpoints       uint64            `json:"checkpoints,omitempty"`
+
+	// LastCheckpointUnixNano is when the last checkpoint was persisted
+	// (0 when none has been).
+	LastCheckpointUnixNano int64 `json:"last_checkpoint_unix_nano,omitempty"`
 
 	Martingale  float64 `json:"martingale"`
 	WindowDelta float64 `json:"window_delta"`
@@ -53,18 +58,20 @@ func (t *Tracer) Snapshot() Snapshot {
 	defer t.mu.Unlock()
 
 	s := Snapshot{
-		TimeUnixNano:      t.now().UnixNano(),
-		Model:             t.model,
-		Frames:            t.counts[KindFrameObserved],
-		MartingaleUpdates: t.counts[KindMartingaleUpdate],
-		Drifts:            t.counts[KindDriftDeclared],
-		SelectionsStarted: t.counts[KindSelectionStarted],
-		Selections:        t.counts[KindSelectionResolved],
-		ModelsTrained:     t.counts[KindModelTrained],
-		Deployments:       t.counts[KindModelDeployed],
-		Martingale:        t.martingale,
-		WindowDelta:       t.windowDelta,
-		MeanP:             t.meanP,
+		TimeUnixNano:           t.now().UnixNano(),
+		Model:                  t.model,
+		Frames:                 t.counts[KindFrameObserved],
+		MartingaleUpdates:      t.counts[KindMartingaleUpdate],
+		Drifts:                 t.counts[KindDriftDeclared],
+		SelectionsStarted:      t.counts[KindSelectionStarted],
+		Selections:             t.counts[KindSelectionResolved],
+		ModelsTrained:          t.counts[KindModelTrained],
+		Deployments:            t.counts[KindModelDeployed],
+		Checkpoints:            t.counts[KindCheckpointSaved],
+		LastCheckpointUnixNano: t.lastCheckpoint,
+		Martingale:             t.martingale,
+		WindowDelta:            t.windowDelta,
+		MeanP:                  t.meanP,
 	}
 	s.FramesByState = make(map[string]uint64, stateCount)
 	for st := State(0); st < stateCount; st++ {
@@ -135,6 +142,17 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	p("# HELP videodrift_model_deployments_total Model deployments (including the initial one).\n")
 	p("# TYPE videodrift_model_deployments_total counter\n")
 	p("videodrift_model_deployments_total %d\n", s.Deployments)
+
+	p("# HELP videodrift_checkpoints_total Monitor checkpoints persisted to the state store.\n")
+	p("# TYPE videodrift_checkpoints_total counter\n")
+	p("videodrift_checkpoints_total %d\n", s.Checkpoints)
+
+	if s.LastCheckpointUnixNano > 0 {
+		p("# HELP videodrift_last_checkpoint_age_seconds Seconds since the last persisted checkpoint, at snapshot time.\n")
+		p("# TYPE videodrift_last_checkpoint_age_seconds gauge\n")
+		p("videodrift_last_checkpoint_age_seconds %s\n",
+			promFloat(float64(s.TimeUnixNano-s.LastCheckpointUnixNano)/1e9))
+	}
 
 	p("# HELP videodrift_martingale_value Current CUSUM martingale value S_l.\n")
 	p("# TYPE videodrift_martingale_value gauge\n")

@@ -45,6 +45,9 @@ const (
 	// KindModelDeployed is a model (selected or trained) becoming the
 	// serving model.
 	KindModelDeployed
+	// KindCheckpointSaved is a full monitor checkpoint persisted to the
+	// state store.
+	KindCheckpointSaved
 
 	kindCount
 )
@@ -57,6 +60,7 @@ var kindNames = [kindCount]string{
 	"selection_resolved",
 	"model_trained",
 	"model_deployed",
+	"checkpoint_saved",
 }
 
 // String returns the event kind's snake_case name.
@@ -122,6 +126,7 @@ const (
 	StageSelect                  // one full MSBI/MSBO run
 	StageTrain                   // provisioning a new model mid-stream
 	StageODINDetect              // ODIN-Detect clustering per frame
+	StageCheckpoint              // one checkpoint capture + atomic write
 
 	stageCount
 )
@@ -135,6 +140,7 @@ var stageNames = [stageCount]string{
 	"select",
 	"train",
 	"odin_detect",
+	"checkpoint",
 }
 
 // String returns the stage's snake_case name.
@@ -186,6 +192,11 @@ type Event struct {
 	TrainedNew  bool        `json:"trained_new,omitempty"`
 	TrainFrames int         `json:"train_frames,omitempty"`
 	Candidates  []Candidate `json:"candidates,omitempty"`
+
+	// Checkpoint fields: where the checkpoint was written and its
+	// encoded size.
+	Path  string `json:"path,omitempty"`
+	Bytes int    `json:"bytes,omitempty"`
 }
 
 // Config parameterizes a Tracer. The zero value is usable.
@@ -222,6 +233,8 @@ type Tracer struct {
 	martingale  float64
 	windowDelta float64
 	meanP       float64
+
+	lastCheckpoint int64 // unix nanos of the last persisted checkpoint
 
 	stages [stageCount]Histogram
 }
@@ -364,6 +377,21 @@ func (t *Tracer) ModelDeployed(model string) {
 	t.mu.Lock()
 	t.model = model
 	t.emit(Event{Kind: KindModelDeployed, Model: model}, true)
+	t.mu.Unlock()
+}
+
+// CheckpointSaved records a persisted monitor checkpoint: the written
+// path and encoded size as a ringed event, the capture+write duration in
+// the checkpoint stage histogram, and the last-checkpoint timestamp
+// behind the videodrift_last_checkpoint_age_seconds gauge.
+func (t *Tracer) CheckpointSaved(path string, bytes int, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.lastCheckpoint = t.now().UnixNano()
+	t.stages[StageCheckpoint].Observe(d)
+	t.emit(Event{Kind: KindCheckpointSaved, Path: path, Bytes: bytes}, true)
 	t.mu.Unlock()
 }
 

@@ -245,6 +245,9 @@ videodrift_models_trained_total 0
 # HELP videodrift_model_deployments_total Model deployments (including the initial one).
 # TYPE videodrift_model_deployments_total counter
 videodrift_model_deployments_total 1
+# HELP videodrift_checkpoints_total Monitor checkpoints persisted to the state store.
+# TYPE videodrift_checkpoints_total counter
+videodrift_checkpoints_total 0
 # HELP videodrift_martingale_value Current CUSUM martingale value S_l.
 # TYPE videodrift_martingale_value gauge
 videodrift_martingale_value 8
@@ -330,5 +333,47 @@ func TestTracerConcurrentUse(t *testing.T) {
 	s := tr.Snapshot()
 	if s.Frames != 2000 || s.Drifts != 40 {
 		t.Errorf("lost updates under concurrency: %+v", s)
+	}
+}
+
+// TestCheckpointSaved covers the checkpoint telemetry surface: the
+// counter, the freshness gauge, the stage histogram and the ringed
+// event.
+func TestCheckpointSaved(t *testing.T) {
+	now := time.Unix(1700000000, 0)
+	tr := New(Config{RingSize: 8, Now: func() time.Time { return now }})
+	tr.CheckpointSaved("/state/checkpoint-00000001.vdc", 12345, 3*time.Millisecond)
+	now = now.Add(2 * time.Second)
+
+	s := tr.Snapshot()
+	if s.Checkpoints != 1 {
+		t.Errorf("Checkpoints = %d, want 1", s.Checkpoints)
+	}
+	if s.LastCheckpointUnixNano != time.Unix(1700000000, 0).UnixNano() {
+		t.Errorf("LastCheckpointUnixNano = %d", s.LastCheckpointUnixNano)
+	}
+	var b strings.Builder
+	if err := s.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "videodrift_checkpoints_total 1\n") {
+		t.Error("checkpoint counter missing from Prometheus output")
+	}
+	if !strings.Contains(b.String(), "videodrift_last_checkpoint_age_seconds 2\n") {
+		t.Errorf("age gauge missing or wrong:\n%s", b.String())
+	}
+	found := false
+	for _, st := range s.Stages {
+		if st.Stage == "checkpoint" && st.Count == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("checkpoint stage latency not recorded")
+	}
+	evs := tr.Events()
+	if len(evs) != 1 || evs[0].Kind != KindCheckpointSaved ||
+		evs[0].Path != "/state/checkpoint-00000001.vdc" || evs[0].Bytes != 12345 {
+		t.Errorf("ringed event = %+v", evs)
 	}
 }

@@ -1,0 +1,64 @@
+package vae
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"videodrift/internal/stats"
+)
+
+// vaeRecord is the gob wire form of a VAE: the architecture, every
+// trainable tensor in params() order, and the generator's exact stream
+// position so a restored VAE's future Fit/Sample draws match the
+// original's.
+type vaeRecord struct {
+	Config  Config
+	Weights [][]float64
+	RNG     stats.RNGState
+}
+
+// MarshalBinary serializes the VAE's architecture, weights and RNG
+// position. Optimizer moments are not retained: provisioned VAEs are
+// never resumed mid-Fit, and a fresh Adam state only matters for further
+// training.
+func (v *VAE) MarshalBinary() ([]byte, error) {
+	ps := v.params()
+	rec := vaeRecord{Config: v.cfg, Weights: make([][]float64, len(ps)), RNG: v.rng.State()}
+	for i, p := range ps {
+		rec.Weights[i] = append([]float64(nil), p.Value...)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
+		return nil, fmt.Errorf("vae: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalVAE reconstructs a VAE serialized by MarshalBinary: it builds
+// the recorded architecture, overwrites the initialization with the
+// stored weights, and resumes the generator at its recorded position.
+func UnmarshalVAE(data []byte) (*VAE, error) {
+	var rec vaeRecord
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&rec); err != nil {
+		return nil, fmt.Errorf("vae: decode: %w", err)
+	}
+	if rec.Config.InputDim <= 0 || rec.Config.HiddenDim <= 0 || rec.Config.LatentDim <= 0 {
+		return nil, fmt.Errorf("vae: decode: invalid config %+v", rec.Config)
+	}
+	// Initialization weights are discarded below, so the construction RNG
+	// is a throwaway; the live generator is resumed separately.
+	v := New(rec.Config, stats.NewRNG(0))
+	ps := v.params()
+	if len(ps) != len(rec.Weights) {
+		return nil, fmt.Errorf("vae: decode: %d weight tensors, architecture has %d", len(rec.Weights), len(ps))
+	}
+	for i, p := range ps {
+		if len(p.Value) != len(rec.Weights[i]) {
+			return nil, fmt.Errorf("vae: decode: tensor %d has %d values, want %d", i, len(rec.Weights[i]), len(p.Value))
+		}
+		copy(p.Value, rec.Weights[i])
+	}
+	v.rng = stats.ResumeRNG(rec.RNG)
+	return v, nil
+}

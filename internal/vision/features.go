@@ -11,6 +11,7 @@ package vision
 
 import (
 	"math"
+	"reflect"
 	"sort"
 
 	"videodrift/internal/tensor"
@@ -398,6 +399,41 @@ func QueryFeatures(pixels tensor.Vector, w, h int) tensor.Vector {
 
 // FeatureFunc is the signature shared by all frame featurizers.
 type FeatureFunc func(pixels tensor.Vector, w, h int) tensor.Vector
+
+// The built-in classifier front-end names, used by the checkpoint codec
+// to serialize which FeatureFunc a model entry was provisioned with.
+const (
+	FeatureFuncQuery   = "query"
+	FeatureFuncSpatial = "spatial"
+)
+
+// FeatureFuncName returns the registered name of a built-in classifier
+// front-end (FeatureFuncQuery or FeatureFuncSpatial), or "" for nil and
+// for ad-hoc functions — those cannot be serialized by name.
+func FeatureFuncName(fn FeatureFunc) string {
+	if fn == nil {
+		return ""
+	}
+	switch reflect.ValueOf(fn).Pointer() {
+	case reflect.ValueOf(QueryFeatures).Pointer():
+		return FeatureFuncQuery
+	case reflect.ValueOf(SpatialFeatures).Pointer():
+		return FeatureFuncSpatial
+	}
+	return ""
+}
+
+// FeatureFuncByName resolves a name produced by FeatureFuncName back to
+// the function, or nil for an unknown name.
+func FeatureFuncByName(name string) FeatureFunc {
+	switch name {
+	case FeatureFuncQuery:
+		return QueryFeatures
+	case FeatureFuncSpatial:
+		return SpatialFeatures
+	}
+	return nil
+}
 
 // SpatialDim is the length of the vector SpatialFeatures returns.
 const SpatialDim = QueryDim + 16
