@@ -1,0 +1,34 @@
+// Command driftlint is the repo's invariant multichecker: five custom
+// analyzers that mechanically enforce what the test suite can only
+// sample — restart determinism (no wall clock / global randomness /
+// unordered iteration in replay-critical packages), checkpoint
+// completeness (every snapshot field covered by encode and decode),
+// nil-safe telemetry, tolerance-based float comparison in the
+// statistical packages, and registry lock discipline.
+//
+// Usage:
+//
+//	driftlint [package pattern ...]    # default ./...
+//	driftlint -help                    # list analyzers
+//
+// Exit status: 0 clean, 1 findings, 2 load failure. Suppress a finding
+// with `//lint:allow <analyzer> <reason>` on the flagged line or the
+// line above. The identical gate runs in CI and via `drifttool lint`
+// and scripts/lint.sh.
+package main
+
+import (
+	"os"
+
+	"videodrift/internal/analysis"
+	"videodrift/internal/analysis/driftlint"
+)
+
+func main() {
+	dir, err := os.Getwd()
+	if err != nil {
+		os.Stderr.WriteString(err.Error() + "\n")
+		os.Exit(2)
+	}
+	os.Exit(driftlint.Main(os.Stderr, dir, os.Args[1:], analysis.Suite()))
+}

@@ -6,11 +6,16 @@
 //
 //	drifttool [-dataset bdd|detrac|tokyo|slow] [-scale 0.02] [-selector msbo|msbi] [-v]
 //	drifttool inspect <checkpoint>
+//	drifttool lint [packages]
 //
 // The inspect subcommand describes a checkpoint file written by
 // driftserve (or any videodrift.CheckpointStore): store format version,
 // per-model inventory with sizes and checksums, and each shard's stream
 // position. Damaged files report typed errors instead of partial output.
+//
+// The lint subcommand runs the repo's driftlint analyzer suite (the
+// same multichecker cmd/driftlint wraps) over the given packages,
+// defaulting to ./... — see cmd/driftlint for the analyzer list.
 package main
 
 import (
@@ -20,6 +25,8 @@ import (
 	"os"
 	"time"
 
+	"videodrift/internal/analysis"
+	"videodrift/internal/analysis/driftlint"
 	"videodrift/internal/core"
 	"videodrift/internal/dataset"
 	"videodrift/internal/experiments"
@@ -35,6 +42,13 @@ func main() {
 	verbose := flag.Bool("v", false, "log per-sequence accuracy while streaming")
 	flag.Parse()
 
+	if flag.Arg(0) == "lint" {
+		cwd, err := os.Getwd()
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Exit(driftlint.Main(os.Stderr, cwd, flag.Args()[1:], analysis.Suite()))
+	}
 	if flag.Arg(0) == "inspect" {
 		if flag.NArg() != 2 {
 			log.Fatal("usage: drifttool inspect <checkpoint>")
@@ -47,7 +61,7 @@ func main() {
 		return
 	}
 	if flag.NArg() > 0 {
-		log.Fatalf("unknown subcommand %q (the only subcommand is inspect)", flag.Arg(0))
+		log.Fatalf("unknown subcommand %q (subcommands: inspect, lint)", flag.Arg(0))
 	}
 
 	var ds *dataset.Dataset

@@ -1,3 +1,3 @@
 module videodrift
 
-go 1.22
+go 1.24

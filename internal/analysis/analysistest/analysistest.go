@@ -1,0 +1,181 @@
+// Package analysistest runs a driftlint analyzer over fixture packages
+// and diffs its findings against expectations embedded in the fixtures,
+// mirroring golang.org/x/tools/go/analysis/analysistest: a line that
+// should be flagged carries a trailing comment
+//
+//	// want "regexp" ["regexp" ...]
+//
+// with one Go-quoted or backquoted regular expression per expected
+// diagnostic on that line. Fixtures live under the analyzer package's
+// testdata/src/<importpath>/ and may import the repo's real packages
+// (videodrift/...) — the loader resolves module paths against the
+// enclosing module, fixture paths against testdata/src, and everything
+// else against GOROOT source.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"videodrift/internal/analysis/driftlint"
+)
+
+// expectation is one `// want` regexp with its location.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads each fixture package (import paths relative to
+// testdata/src), applies the analyzer, and reports any mismatch between
+// produced diagnostics and // want expectations as test errors.
+func Run(t *testing.T, a *driftlint.Analyzer, fixturePkgs ...string) {
+	t.Helper()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	module, root, err := driftlint.FindModuleRoot(cwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := driftlint.NewLoader(module, root)
+	loader.ExtraRoots = []string{filepath.Join(cwd, "testdata", "src")}
+
+	for _, path := range fixturePkgs {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Errorf("load %s: %v", path, err)
+			continue
+		}
+		if pkg.Err != nil {
+			t.Errorf("fixture %s does not type-check: %v", path, pkg.Err)
+			continue
+		}
+		diags := driftlint.Run([]*driftlint.Package{pkg}, []*driftlint.Analyzer{a})
+		wants, err := parseWants(pkg.Dir)
+		if err != nil {
+			t.Errorf("fixture %s: %v", path, err)
+			continue
+		}
+		for _, d := range diags {
+			if !claim(wants, d) {
+				t.Errorf("%s: unexpected diagnostic: %s", path, d)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+			}
+		}
+	}
+}
+
+// claim marks the first unmatched expectation on the diagnostic's line
+// whose regexp matches the message.
+func claim(wants []*expectation, d driftlint.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.line != d.Pos.Line || filepath.Base(w.file) != filepath.Base(d.Pos.Filename) {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// parseWants scans every fixture file for // want comments.
+func parseWants(dir string) ([]*expectation, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var wants []*expectation
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		file := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			patterns, err := splitPatterns(strings.TrimSpace(m[1]))
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", file, i+1, err)
+			}
+			for _, p := range patterns {
+				re, err := regexp.Compile(p)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want regexp: %v", file, i+1, err)
+				}
+				wants = append(wants, &expectation{file: file, line: i + 1, re: re})
+			}
+		}
+	}
+	return wants, nil
+}
+
+// splitPatterns parses a sequence of Go string literals ("..." or
+// `...`) from a want comment's payload.
+func splitPatterns(s string) ([]string, error) {
+	var out []string
+	for s != "" {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			break
+		}
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) {
+				if s[end] == '\\' {
+					end += 2
+					continue
+				}
+				if s[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(s) {
+				return nil, fmt.Errorf("unterminated quoted pattern in %q", s)
+			}
+			p, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+			s = s[end+1:]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquoted pattern in %q", s)
+			}
+			out = append(out, s[1:end+1])
+			s = s[end+2:]
+		default:
+			return nil, fmt.Errorf("want patterns must be quoted or backquoted, got %q", s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty want comment")
+	}
+	return out, nil
+}

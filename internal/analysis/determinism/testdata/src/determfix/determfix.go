@@ -1,0 +1,71 @@
+// Package determfix opts in to the determinism checks that the
+// replay-critical packages get by default.
+//
+//driftlint:deterministic
+package determfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Clock reads the wall clock directly.
+func Clock() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock in a replay-critical package`
+}
+
+// Elapsed goes through time.Since.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since reads the wall clock`
+}
+
+// Global draws from the shared generator.
+func Global() int {
+	return rand.Intn(10) // want `rand\.Intn draws from the global generator`
+}
+
+// Seeded builds an explicit generator: constructors and generator
+// methods are the sanctioned path.
+func Seeded() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(10)
+}
+
+// Waived documents a deliberate wall-clock read.
+func Waived() time.Time {
+	return time.Now() //lint:allow determinism fixture demonstrates the waiver syntax
+}
+
+// Keys feeds map iteration into ordered output.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order is nondeterministic and this loop body is order-sensitive`
+		out = append(out, k)
+	}
+	return out
+}
+
+// Sum only accumulates commutatively.
+func Sum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Invert re-keys into another map with a call-free right-hand side.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Clear deletes, which commutes across iterations.
+func Clear(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}

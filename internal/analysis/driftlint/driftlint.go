@@ -1,0 +1,289 @@
+// Package driftlint is a small, dependency-free static-analysis
+// framework in the shape of golang.org/x/tools/go/analysis, built on
+// the standard library's go/ast and go/types only (the build
+// environment bakes in the Go toolchain but no external modules).
+//
+// It exists to machine-check the repo's cross-cutting invariants — the
+// guarantees the compiler cannot see but the system's headline claims
+// rest on:
+//
+//   - bit-identical warm restart (no wall clock, no global randomness,
+//     no unordered iteration feeding serialized state — analyzer
+//     "determinism");
+//   - checkpoint completeness (every snapshot-struct field covered by
+//     both its encode and decode path — analyzer "snapshotsync");
+//   - nil-safe telemetry (every exported *Tracer method usable on a nil
+//     receiver — analyzer "tracenil");
+//   - statistically meaningful float handling (no accidental ==/!= on
+//     p-values, martingale wealth or Brier scores — analyzer
+//     "floatcmp");
+//   - lock discipline on shared registries (analyzer "lockreg").
+//
+// Analyzers run per package over type-checked syntax. A finding can be
+// suppressed at a call site with a directive comment on the same line
+// or the line directly above:
+//
+//	//lint:allow <analyzer>[,<analyzer>...] <reason>
+//
+// The reason is free text and mandatory by convention (reviewed, not
+// enforced). See DESIGN.md §10 for the invariant catalog.
+package driftlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker, mirroring
+// golang.org/x/tools/go/analysis.Analyzer closely enough that the suite
+// could be ported onto the real multichecker if the dependency ever
+// lands in the build image.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //lint:allow
+	// directives. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph description `driftlint -help` prints.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding, positioned and attributed to its
+// analyzer.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	pkg   *Package
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos unless a //lint:allow directive for
+// this analyzer covers the position's line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	if p.pkg.allowedAt(p.Analyzer.Name, position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// HasFileDirective reports whether any file of the package carries a
+// comment of the exact form "//driftlint:<name>" (package-level opt-in,
+// e.g. //driftlint:deterministic on a fixture or a new critical
+// package).
+func (p *Pass) HasFileDirective(name string) bool {
+	want := "//driftlint:" + name
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if text == want || strings.HasPrefix(text, want+" ") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// directiveIndex maps filename -> line -> analyzer names allowed there.
+type directiveIndex map[string]map[int][]string
+
+// buildDirectives scans a package's comments for //lint:allow
+// directives and indexes them by position. A directive suppresses
+// findings on its own line and on the line directly below it (so it can
+// trail the flagged expression or sit on its own line above it).
+func buildDirectives(fset *token.FileSet, files []*ast.File) directiveIndex {
+	idx := directiveIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(c.Text), "//"))
+				if !strings.HasPrefix(text, "lint:allow") {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "lint:allow"))
+				if rest == "" {
+					continue
+				}
+				names := strings.Split(strings.Fields(rest)[0], ",")
+				pos := fset.Position(c.Pos())
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]string{}
+					idx[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], names...)
+			}
+		}
+	}
+	return idx
+}
+
+func (p *Package) allowedAt(analyzer string, pos token.Position) bool {
+	byLine := p.allows[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range byLine[line] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Run applies every analyzer to every package and returns the combined
+// findings sorted by position. Packages that failed to type-check
+// surface their first error as a diagnostic attributed to "typecheck"
+// and are skipped by the analyzers (their syntax info would be
+// unreliable).
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		if pkg.Err != nil {
+			diags = append(diags, Diagnostic{
+				Pos:      pkg.ErrPos,
+				Analyzer: "typecheck",
+				Message:  pkg.Err.Error(),
+			})
+			continue
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				pkg:       pkg,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				diags = append(diags, Diagnostic{
+					Analyzer: a.Name,
+					Message:  fmt.Sprintf("internal error: %v", err),
+				})
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// ---- shared type-query helpers used by the analyzers ----
+
+// CalleeFunc resolves the function or method a call expression invokes,
+// or nil when the callee is not a declared function (e.g. a function
+// value, a conversion, or a builtin).
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// IsPkgLevelFunc reports whether fn is the package-level (non-method)
+// function pkgPath.name.
+func IsPkgLevelFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() != pkgPath || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// IsFloat reports whether t's underlying type is a floating-point type
+// (including untyped float constants).
+func IsFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// Deref strips one level of pointer.
+func Deref(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// NamedOf returns t's *types.Named after stripping pointers, or nil.
+func NamedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// RecvBaseName returns the name of a method declaration's receiver base
+// type ("" for plain functions), e.g. "Pipeline" for
+// func (p *Pipeline) Snapshot().
+func RecvBaseName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = st.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}

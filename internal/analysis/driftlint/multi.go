@@ -1,0 +1,67 @@
+package driftlint
+
+import (
+	"fmt"
+	"io"
+)
+
+// RunPatterns loads every package matching the patterns under the
+// module rooted at root and applies the analyzers, returning sorted
+// diagnostics. It is the programmatic core shared by cmd/driftlint and
+// `drifttool lint`.
+func RunPatterns(module, root string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	loader := NewLoader(module, root)
+	paths, err := loader.Expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return Run(pkgs, analyzers), nil
+}
+
+// Main is the multichecker entry point: argv holds package patterns
+// (default "./..."), or "-help" to list the analyzers. It resolves the
+// enclosing module from dir, prints findings to w one per line in
+// file:line:col form, and returns the process exit code: 0 clean,
+// 1 findings, 2 usage or load failure.
+func Main(w io.Writer, dir string, argv []string, analyzers []*Analyzer) int {
+	patterns := argv
+	for _, a := range patterns {
+		if a == "-help" || a == "--help" || a == "help" {
+			fmt.Fprintf(w, "driftlint checks the repo's determinism, checkpoint-completeness and telemetry invariants.\n\n")
+			fmt.Fprintf(w, "usage: driftlint [package pattern ...]   (default ./...)\n\nanalyzers:\n")
+			for _, an := range analyzers {
+				fmt.Fprintf(w, "  %-12s %s\n", an.Name, an.Doc)
+			}
+			fmt.Fprintf(w, "\nSuppress a finding with `//lint:allow <analyzer> <reason>` on the\nflagged line or the line above it.\n")
+			return 0
+		}
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	module, root, err := FindModuleRoot(dir)
+	if err != nil {
+		fmt.Fprintln(w, err)
+		return 2
+	}
+	diags, err := RunPatterns(module, root, patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(w, err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(w, d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,89 @@
+// Package floatcmp forbids == and != on floating-point operands inside
+// the statistical packages, where the compared values are p-values,
+// martingale wealth, Brier scores and other quantities produced by
+// arithmetic whose exact bit pattern is an implementation detail. An
+// accidental equality there turns a statistical property into a
+// bit-pattern coincidence that holds on one code path and breaks after
+// any refactor. Intentional exact comparisons (conformal tie counting,
+// the x != x NaN probe) stay, via the NaN idiom exemption or an
+// explicit //lint:allow floatcmp with a reason.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"videodrift/internal/analysis/driftlint"
+)
+
+// StatisticalPackages are the import paths where float equality is
+// forbidden by default. Other packages opt in with a
+// //driftlint:floatstrict file comment.
+var StatisticalPackages = []string{
+	"videodrift/internal/conformal",
+	"videodrift/internal/stats",
+	"videodrift/internal/core",
+}
+
+// Analyzer is the float-comparison checker.
+var Analyzer = &driftlint.Analyzer{
+	Name: "floatcmp",
+	Doc:  "forbid ==/!= on floating-point values in the statistical packages outside the explicit allowlist",
+	Run:  run,
+}
+
+func run(pass *driftlint.Pass) error {
+	if !applies(pass) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkBinary(pass, n)
+			case *ast.SwitchStmt:
+				checkSwitch(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func applies(pass *driftlint.Pass) bool {
+	for _, p := range StatisticalPackages {
+		if pass.Pkg.Path() == p {
+			return true
+		}
+	}
+	return pass.HasFileDirective("floatstrict")
+}
+
+func checkBinary(pass *driftlint.Pass, e *ast.BinaryExpr) {
+	if e.Op != token.EQL && e.Op != token.NEQ {
+		return
+	}
+	if !driftlint.IsFloat(pass.TypesInfo.TypeOf(e.X)) &&
+		!driftlint.IsFloat(pass.TypesInfo.TypeOf(e.Y)) {
+		return
+	}
+	if e.Op == token.NEQ && types.ExprString(e.X) == types.ExprString(e.Y) {
+		return // x != x is the portable NaN test
+	}
+	pass.Reportf(e.OpPos,
+		"floating-point %s comparison in a statistical package; equality of computed floats is a bit-pattern accident — compare with a tolerance, or annotate the intent with //lint:allow floatcmp",
+		e.Op)
+}
+
+// checkSwitch flags `switch x { case a: }` with a float tag, which
+// performs the same hidden equality per case.
+func checkSwitch(pass *driftlint.Pass, s *ast.SwitchStmt) {
+	if s.Tag == nil {
+		return
+	}
+	if driftlint.IsFloat(pass.TypesInfo.TypeOf(s.Tag)) {
+		pass.Reportf(s.Tag.Pos(),
+			"switch on a floating-point value compares with == per case; restructure as ordered comparisons or annotate with //lint:allow floatcmp")
+	}
+}

@@ -1,0 +1,34 @@
+// Package floatfix opts in to strict float comparison.
+//
+//driftlint:floatstrict
+package floatfix
+
+// Eq compares computed floats exactly.
+func Eq(a, b float64) bool {
+	return a == b // want `floating-point == comparison in a statistical package`
+}
+
+// Neq on distinct operands is flagged too.
+func Neq(a, b float64) bool {
+	return a != b // want `floating-point != comparison in a statistical package`
+}
+
+// IsNaN uses the portable self-comparison idiom, which is exempt.
+func IsNaN(x float64) bool { return x != x }
+
+// Ints are not floats.
+func Ints(a, b int) bool { return a == b }
+
+// ZeroSentinel documents an intentional exact comparison.
+func ZeroSentinel(x float64) bool {
+	return x == 0 //lint:allow floatcmp zero is assigned as a sentinel, never computed
+}
+
+// Pick switches on a float, which hides an == per case.
+func Pick(x float64) int {
+	switch x { // want `switch on a floating-point value compares with == per case`
+	case 0:
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,6 @@
+// Package floatoff has no strict-float opt-in and is not one of the
+// statistical packages, so exact comparisons here are not flagged.
+package floatoff
+
+// Eq is not flagged outside the statistical packages.
+func Eq(a, b float64) bool { return a == b }

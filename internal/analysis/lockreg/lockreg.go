@@ -1,0 +1,207 @@
+// Package lockreg enforces mutex discipline on shared mutable structs
+// marked
+//
+//	//driftlint:locked
+//
+// (core.Registry — read by every shard, appended to by concurrent
+// selection runs). Inside the defining package, the struct's non-mutex
+// fields may be touched only (a) in methods of the struct that acquire
+// the mutex (a .Lock()/.RLock() call lexically before the access, with
+// the usual deferred unlock), (b) in methods whose name ends in
+// "Locked" (caller holds the lock by contract), or (c) through keyed
+// composite literals (construction happens before sharing). Any other
+// access — from plain functions, other types' methods, or before the
+// lock — is flagged; callers outside the package are already confined
+// to the exported, locking accessors by the fields being unexported.
+package lockreg
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"videodrift/internal/analysis/driftlint"
+)
+
+// Analyzer is the lock-discipline checker.
+var Analyzer = &driftlint.Analyzer{
+	Name: "lockreg",
+	Doc:  "restrict marked structs' field access to mutex-holding methods or exported accessors",
+	Run:  run,
+}
+
+// target is one //driftlint:locked struct: its named type and the names
+// of its mutex fields.
+type target struct {
+	named   *types.Named
+	mutexes map[string]bool
+}
+
+func run(pass *driftlint.Pass) error {
+	targets := collectTargets(pass)
+	if len(targets) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, targets)
+		}
+	}
+	return nil
+}
+
+func collectTargets(pass *driftlint.Pass) []*target {
+	var targets []*target
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gen, ok := decl.(*ast.GenDecl)
+			if !ok || gen.Tok != token.TYPE {
+				continue
+			}
+			for _, s := range gen.Specs {
+				ts, ok := s.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil && len(gen.Specs) == 1 {
+					doc = gen.Doc
+				}
+				if !hasLockedDirective(doc) {
+					continue
+				}
+				obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				named, ok := obj.Type().(*types.Named)
+				if !ok {
+					continue
+				}
+				st, ok := named.Underlying().(*types.Struct)
+				if !ok {
+					pass.Reportf(ts.Pos(), "//driftlint:locked on %s, which is not a struct type", ts.Name.Name)
+					continue
+				}
+				t := &target{named: named, mutexes: map[string]bool{}}
+				for i := 0; i < st.NumFields(); i++ {
+					if isMutex(st.Field(i).Type()) {
+						t.mutexes[st.Field(i).Name()] = true
+					}
+				}
+				if len(t.mutexes) == 0 {
+					pass.Reportf(ts.Pos(), "//driftlint:locked on %s, which has no sync.Mutex or sync.RWMutex field", ts.Name.Name)
+					continue
+				}
+				targets = append(targets, t)
+			}
+		}
+	}
+	return targets
+}
+
+func hasLockedDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == "//driftlint:locked" || strings.HasPrefix(text, "//driftlint:locked ") {
+			return true
+		}
+	}
+	return false
+}
+
+func isMutex(t types.Type) bool {
+	named := driftlint.NamedOf(t)
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" &&
+		(named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex")
+}
+
+// checkFunc inspects one function for accesses to any target's fields.
+func checkFunc(pass *driftlint.Pass, fd *ast.FuncDecl, targets []*target) {
+	for _, t := range targets {
+		isMethod := methodOf(pass, fd) == t.named
+		exemptName := isMethod && strings.HasSuffix(fd.Name.Name, "Locked")
+		lockPos := firstLockPos(pass, fd.Body, t)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s := pass.TypesInfo.Selections[sel]
+			if s == nil || s.Kind() != types.FieldVal ||
+				driftlint.NamedOf(s.Recv()) != t.named {
+				return true
+			}
+			if t.mutexes[s.Obj().Name()] {
+				return true // touching the mutex itself is the point
+			}
+			name := t.named.Obj().Name()
+			switch {
+			case !isMethod:
+				pass.Reportf(sel.Sel.Pos(),
+					"access to %s.%s outside %s's methods; go through its exported (locking) accessors",
+					name, s.Obj().Name(), name)
+			case exemptName:
+				// *Locked methods document that the caller holds the lock.
+			case lockPos == token.NoPos:
+				pass.Reportf(sel.Sel.Pos(),
+					"method (%s).%s reads %s.%s without acquiring its mutex",
+					name, fd.Name.Name, name, s.Obj().Name())
+			case sel.Sel.Pos() < lockPos:
+				pass.Reportf(sel.Sel.Pos(),
+					"%s.%s is accessed before the mutex is acquired at line %d",
+					name, s.Obj().Name(), pass.Fset.Position(lockPos).Line)
+			}
+			return true
+		})
+	}
+}
+
+// methodOf returns the named receiver base type of fd, or nil.
+func methodOf(pass *driftlint.Pass, fd *ast.FuncDecl) *types.Named {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return nil
+	}
+	return driftlint.NamedOf(pass.TypesInfo.TypeOf(fd.Recv.List[0].Type))
+}
+
+// firstLockPos returns the position of the first <target>.<mutex>.Lock
+// or .RLock call in the body, or NoPos.
+func firstLockPos(pass *driftlint.Pass, body *ast.BlockStmt, t *target) token.Pos {
+	pos := token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s := pass.TypesInfo.Selections[inner]
+		if s == nil || s.Kind() != types.FieldVal ||
+			driftlint.NamedOf(s.Recv()) != t.named || !t.mutexes[s.Obj().Name()] {
+			return true
+		}
+		if pos == token.NoPos || call.Pos() < pos {
+			pos = call.Pos()
+		}
+		return true
+	})
+	return pos
+}

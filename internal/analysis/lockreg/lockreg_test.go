@@ -1,0 +1,12 @@
+package lockreg_test
+
+import (
+	"testing"
+
+	"videodrift/internal/analysis/analysistest"
+	"videodrift/internal/analysis/lockreg"
+)
+
+func TestLockReg(t *testing.T) {
+	analysistest.Run(t, lockreg.Analyzer, "lockfix")
+}

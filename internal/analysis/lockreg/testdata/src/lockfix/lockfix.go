@@ -1,0 +1,67 @@
+// Package lockfix exercises the lockreg analyzer.
+package lockfix
+
+import "sync"
+
+// Reg mirrors core.Registry: a mutex-guarded append-only collection.
+//
+//driftlint:locked
+type Reg struct {
+	mu    sync.RWMutex
+	items []int
+}
+
+// New constructs through a composite literal, which is exempt:
+// construction happens before sharing.
+func New(items ...int) *Reg { return &Reg{items: items} }
+
+// Add write-locks before touching items.
+func (r *Reg) Add(x int) {
+	r.mu.Lock()
+	r.items = append(r.items, x)
+	r.mu.Unlock()
+}
+
+// Len read-locks.
+func (r *Reg) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.items)
+}
+
+// lenLocked documents by its name that the caller holds the lock.
+func (r *Reg) lenLocked() int { return len(r.items) }
+
+var _ = (*Reg).lenLocked
+
+// Bad never acquires the mutex.
+func (r *Reg) Bad() int {
+	return len(r.items) // want `method \(Reg\)\.Bad reads Reg\.items without acquiring its mutex`
+}
+
+// Early touches items before the Lock call.
+func (r *Reg) Early() int {
+	n := len(r.items) // want `Reg\.items is accessed before the mutex is acquired at line`
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return n + len(r.items)
+}
+
+// Sneak reaches in from outside the methods.
+func Sneak(r *Reg) int {
+	return len(r.items) // want `access to Reg\.items outside Reg's methods; go through its exported \(locking\) accessors`
+}
+
+// Sampled tolerates the race with an explicit waiver.
+func (r *Reg) Sampled() int {
+	return len(r.items) //lint:allow lockreg approximate reads are fine for sampling
+}
+
+// NoMutex cannot be lock-checked.
+//
+//driftlint:locked
+type NoMutex struct { // want `on NoMutex, which has no sync\.Mutex or sync\.RWMutex field`
+	x int
+}
+
+var _ = NoMutex{}.x

@@ -1,0 +1,12 @@
+package snapshotsync_test
+
+import (
+	"testing"
+
+	"videodrift/internal/analysis/analysistest"
+	"videodrift/internal/analysis/snapshotsync"
+)
+
+func TestSnapshotSync(t *testing.T) {
+	analysistest.Run(t, snapshotsync.Analyzer, "snapfix")
+}

@@ -1,0 +1,63 @@
+// Package snapfix exercises the snapshotsync analyzer: marked structs
+// whose encode/decode coverage is complete, incomplete, or misdeclared.
+package snapfix
+
+// goodRecord's fields are fully covered by both paths (the positional
+// composite literal in goodDecode initializes every field).
+//
+//driftlint:snapshot encode=goodEncode decode=goodDecode
+type goodRecord struct {
+	A int
+	B string
+}
+
+func goodEncode(g goodRecord) (int, string) { return g.A, g.B }
+
+func goodDecode(a int, b string) goodRecord { return goodRecord{a, b} }
+
+// methRecord's encode path is a method, named Receiver.Method style.
+//
+//driftlint:snapshot encode=methRecord.Marshal decode=unmarshalMeth
+type methRecord struct {
+	V int
+}
+
+// Marshal is the encode path.
+func (m methRecord) Marshal() int { return m.V }
+
+func unmarshalMeth(v int) methRecord { return methRecord{V: v} }
+
+// badRecord is the regression case this analyzer exists for: a field
+// added to the snapshot struct and to the encoder, but never to the
+// decoder — a checkpoint that restores incompletely.
+//
+//driftlint:snapshot encode=badEncode decode=badDecode
+type badRecord struct {
+	A     int
+	Added float64 // want `field Added of snapshot struct badRecord is not referenced by its decode path \(badDecode\); warm restarts would silently lose it`
+}
+
+func badEncode(b badRecord) (int, float64) { return b.A, b.Added }
+
+func badDecode(a int) badRecord {
+	var r badRecord
+	r.A = a
+	return r
+}
+
+// ghostRecord drops a field from both paths.
+//
+//driftlint:snapshot encode=ghostEncode decode=ghostDecode
+type ghostRecord struct {
+	Kept    int
+	Dropped int // want `not referenced by its encode path` `not referenced by its decode path`
+}
+
+func ghostEncode(g ghostRecord) int { return g.Kept }
+
+func ghostDecode(v int) ghostRecord { return ghostRecord{Kept: v} }
+
+// unknownRec's directive names a function that does not exist.
+//
+//driftlint:snapshot encode=nowhere decode=ghostDecode
+type unknownRec struct{} // want `names unknown encode function "nowhere"`

@@ -1,0 +1,24 @@
+// Package analysis assembles the driftlint analyzer suite — the five
+// mechanically-enforced invariants behind the repo's determinism,
+// checkpoint-completeness and telemetry guarantees (DESIGN.md §10).
+package analysis
+
+import (
+	"videodrift/internal/analysis/determinism"
+	"videodrift/internal/analysis/driftlint"
+	"videodrift/internal/analysis/floatcmp"
+	"videodrift/internal/analysis/lockreg"
+	"videodrift/internal/analysis/snapshotsync"
+	"videodrift/internal/analysis/tracenil"
+)
+
+// Suite returns every analyzer, in diagnostic-name order.
+func Suite() []*driftlint.Analyzer {
+	return []*driftlint.Analyzer{
+		determinism.Analyzer,
+		floatcmp.Analyzer,
+		lockreg.Analyzer,
+		snapshotsync.Analyzer,
+		tracenil.Analyzer,
+	}
+}

@@ -1,0 +1,46 @@
+// Package telemetry is a fixture reproducing the real telemetry
+// package's shape: a Tracer whose exported pointer-receiver methods
+// must all be nil-safe, because instrumented code calls them on
+// possibly-nil tracers without checking.
+package telemetry
+
+// Tracer accumulates events.
+type Tracer struct {
+	events int
+}
+
+// New returns a live tracer.
+func New() *Tracer { return &Tracer{} }
+
+// Count is nil-safe via the canonical leading guard.
+func (t *Tracer) Count() int {
+	if t == nil {
+		return 0
+	}
+	return t.events
+}
+
+// Observe guards through an || chain whose leftmost disjunct is the
+// nil test, so short-circuit evaluation never dereferences t.
+func (t *Tracer) Observe(n int) {
+	if t == nil || n < 0 {
+		return
+	}
+	t.events += n
+}
+
+// Enabled only compares the receiver, which cannot dereference it.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Total touches the receiver only through an already nil-safe method.
+func (t *Tracer) Total() int { return t.Count() }
+
+// Broken dereferences the receiver with no guard.
+func (t *Tracer) Broken() int { // want `exported method \(\*Tracer\)\.Broken is not nil-safe`
+	return t.events
+}
+
+// reset is unexported: in-package callers check for nil themselves.
+func (t *Tracer) reset() { t.events = 0 }
+
+var _ = (*Tracer).reset

@@ -1,0 +1,25 @@
+// Package traceuse is instrumented code: it holds a possibly-nil
+// *telemetry.Tracer and may only use it through the nil-safe methods.
+package traceuse
+
+import "telemetry"
+
+// Report calls methods — always fine, even on a nil tracer.
+func Report(t *telemetry.Tracer) int { return t.Count() }
+
+// Clone copies through the pointer, which panics when t is nil.
+func Clone(t *telemetry.Tracer) telemetry.Tracer {
+	return *t // want `dereference of a possibly-nil \*telemetry\.Tracer; use its nil-safe methods instead`
+}
+
+// Pinned copies under an explicit waiver.
+func Pinned() telemetry.Tracer {
+	t := telemetry.New()
+	return *t //lint:allow tracenil t was constructed on the line above and cannot be nil
+}
+
+// Typed uses *telemetry.Tracer as a type expression, not a dereference.
+func Typed(t *telemetry.Tracer) {
+	var p *telemetry.Tracer = t
+	_ = p
+}

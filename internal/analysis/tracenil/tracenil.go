@@ -1,0 +1,263 @@
+// Package tracenil enforces the telemetry layer's nil-safety contract
+// (telemetry package doc, PR 1): instrumented code holds a possibly-nil
+// *telemetry.Tracer and calls it unconditionally, which is only sound
+// if every exported *Tracer method is a nil-safe wrapper. The analyzer
+// proves that property inside the defining package — each exported
+// pointer-receiver method must open with `if t == nil { return ... }`,
+// or touch the receiver only through nil comparisons and calls to
+// methods already proven nil-safe — and, everywhere else, flags
+// explicit dereferences (*t) of a possibly-nil tracer, the one use the
+// wrappers cannot make safe.
+package tracenil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"videodrift/internal/analysis/driftlint"
+)
+
+// Analyzer is the nil-safe-telemetry checker.
+var Analyzer = &driftlint.Analyzer{
+	Name: "tracenil",
+	Doc:  "require exported telemetry.Tracer methods to be nil-safe and forbid raw dereferences of possibly-nil tracers",
+	Run:  run,
+}
+
+func run(pass *driftlint.Pass) error {
+	if pass.Pkg.Name() == "telemetry" {
+		checkDefiningPackage(pass)
+	}
+	checkDerefs(pass)
+	return nil
+}
+
+// tracerMethod is one *Tracer pointer-receiver method declaration.
+type tracerMethod struct {
+	decl *ast.FuncDecl
+	recv *types.Var // receiver object, nil when unnamed
+}
+
+// checkDefiningPackage verifies the nil-safety fixpoint over the
+// package's *Tracer methods.
+func checkDefiningPackage(pass *driftlint.Pass) {
+	obj, ok := pass.Pkg.Scope().Lookup("Tracer").(*types.TypeName)
+	if !ok {
+		return
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		return
+	}
+
+	methods := map[string]*tracerMethod{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			rt := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)
+			if rt == nil {
+				continue
+			}
+			ptr, ok := rt.(*types.Pointer)
+			if !ok || driftlint.NamedOf(ptr) != named {
+				continue
+			}
+			m := &tracerMethod{decl: fd}
+			if names := fd.Recv.List[0].Names; len(names) > 0 && names[0].Name != "_" {
+				m.recv, _ = pass.TypesInfo.Defs[names[0]].(*types.Var)
+			}
+			methods[fd.Name.Name] = m
+		}
+	}
+
+	// Fixpoint: start with methods carrying an explicit leading guard
+	// (or never touching the receiver), then admit methods whose only
+	// receiver uses are nil comparisons and calls into the current
+	// nil-safe set.
+	safe := map[string]bool{}
+	for name, m := range methods {
+		if hasLeadingNilGuard(pass, m) {
+			safe[name] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for name, m := range methods {
+			if safe[name] {
+				continue
+			}
+			if receiverUsesAreSafe(pass, m, safe) {
+				safe[name] = true
+				changed = true
+			}
+		}
+	}
+	for name, m := range methods {
+		if safe[name] || !ast.IsExported(name) {
+			continue
+		}
+		pass.Reportf(m.decl.Name.Pos(),
+			"exported method (*Tracer).%s is not nil-safe: open with `if %s == nil { return ... }` (instrumented code calls tracer methods unconditionally on possibly-nil tracers)",
+			name, recvName(m))
+	}
+}
+
+func recvName(m *tracerMethod) string {
+	if m.recv != nil {
+		return m.recv.Name()
+	}
+	return "t"
+}
+
+// hasLeadingNilGuard reports whether the method's first statement is
+// `if recv == nil { return ... }` (the body of the if must
+// unconditionally return), or the method has no body / never names the
+// receiver.
+func hasLeadingNilGuard(pass *driftlint.Pass, m *tracerMethod) bool {
+	if m.decl.Body == nil {
+		return true
+	}
+	if m.recv == nil {
+		return true // receiver unnamed: body cannot dereference it
+	}
+	if len(m.decl.Body.List) == 0 {
+		return true
+	}
+	ifs, ok := m.decl.Body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	if !guardsNil(pass, m, ifs.Cond) {
+		return false
+	}
+	if len(ifs.Body.List) == 0 {
+		return false
+	}
+	_, isReturn := ifs.Body.List[len(ifs.Body.List)-1].(*ast.ReturnStmt)
+	return isReturn
+}
+
+// guardsNil reports whether cond short-circuits into the return when
+// the receiver is nil: either `recv == nil` itself, or an || chain
+// whose leftmost disjunct is (so evaluation never dereferences the
+// receiver first), e.g. `t == nil || s >= stageCount`.
+func guardsNil(pass *driftlint.Pass, m *tracerMethod, cond ast.Expr) bool {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		if e.Op == token.LOR {
+			return guardsNil(pass, m, e.X)
+		}
+		return e.Op == token.EQL && isRecvNilComparison(pass, m, e)
+	}
+	return false
+}
+
+func isRecvNilComparison(pass *driftlint.Pass, m *tracerMethod, cmp *ast.BinaryExpr) bool {
+	isRecv := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && pass.TypesInfo.Uses[id] == m.recv
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return (isRecv(cmp.X) && isNil(cmp.Y)) || (isNil(cmp.X) && isRecv(cmp.Y))
+}
+
+// receiverUsesAreSafe reports whether every use of the receiver in the
+// method body is a nil comparison or the receiver position of a call to
+// an already-nil-safe method.
+func receiverUsesAreSafe(pass *driftlint.Pass, m *tracerMethod, safe map[string]bool) bool {
+	if m.decl.Body == nil || m.recv == nil {
+		return true
+	}
+	ok := true
+	ast.Inspect(m.decl.Body, func(n ast.Node) bool {
+		id, isIdent := n.(*ast.Ident)
+		if !isIdent || pass.TypesInfo.Uses[id] != m.recv {
+			return true
+		}
+		if !useIsSafe(pass, m, id, safe) {
+			ok = false
+		}
+		return true
+	})
+	return ok
+}
+
+// useIsSafe classifies one receiver mention by inspecting the smallest
+// enclosing expression forms the analyzer accepts.
+func useIsSafe(pass *driftlint.Pass, m *tracerMethod, id *ast.Ident, safe map[string]bool) bool {
+	path := enclosing(m.decl.Body, id.Pos())
+	for i := len(path) - 1; i >= 0; i-- {
+		switch e := path[i].(type) {
+		case *ast.BinaryExpr:
+			if e.Op == token.EQL || e.Op == token.NEQ {
+				return true // nil comparison (or any comparison — no deref)
+			}
+		case *ast.SelectorExpr:
+			// recv.Something — safe only as the callee of a call to an
+			// already-nil-safe method. The parent node (the call, when
+			// there is one) sits before the selector in the root→leaf
+			// path.
+			if i > 0 {
+				if call, ok := path[i-1].(*ast.CallExpr); ok && call.Fun == path[i] {
+					return safe[e.Sel.Name]
+				}
+			}
+			return false
+		}
+	}
+	return false
+}
+
+// enclosing returns the chain of nodes from root down to the node at
+// pos (inclusive of every node whose range covers pos).
+func enclosing(root ast.Node, pos token.Pos) []ast.Node {
+	var path []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if n.Pos() <= pos && pos < n.End() {
+			path = append(path, n)
+			return true
+		}
+		return false
+	})
+	return path
+}
+
+// checkDerefs flags `*t` where t is a *telemetry.Tracer outside the
+// defining package: copying a tracer's guts through a possibly-nil
+// pointer is the one access pattern the nil-safe methods cannot guard.
+func checkDerefs(pass *driftlint.Pass) {
+	if pass.Pkg.Name() == "telemetry" {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			star, ok := n.(*ast.StarExpr)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(star.X)
+			ptr, ok := t.(*types.Pointer)
+			if !ok {
+				return true // a type expression like *telemetry.Tracer, not a deref
+			}
+			named := driftlint.NamedOf(ptr)
+			if named == nil || named.Obj().Name() != "Tracer" ||
+				named.Obj().Pkg() == nil || named.Obj().Pkg().Name() != "telemetry" {
+				return true
+			}
+			pass.Reportf(star.Pos(),
+				"dereference of a possibly-nil *telemetry.Tracer; use its nil-safe methods instead")
+			return true
+		})
+	}
+}

@@ -1,0 +1,12 @@
+package tracenil_test
+
+import (
+	"testing"
+
+	"videodrift/internal/analysis/analysistest"
+	"videodrift/internal/analysis/tracenil"
+)
+
+func TestTraceNil(t *testing.T) {
+	analysistest.Run(t, tracenil.Analyzer, "telemetry", "traceuse")
+}

@@ -12,6 +12,8 @@ import (
 // architecture plus the network weights as produced by
 // nn.Network.MarshalBinary. Optimizer moments are not retained —
 // provisioned classifiers are never resumed mid-Fit.
+//
+//driftlint:snapshot encode=Classifier.MarshalBinary decode=UnmarshalClassifier
 type classifierRecord struct {
 	Config  Config
 	Weights []byte
@@ -52,6 +54,8 @@ func UnmarshalClassifier(data []byte) (*Classifier, error) {
 
 // ensembleRecord is the gob wire form of an Ensemble: one encoded
 // classifier per member.
+//
+//driftlint:snapshot encode=Ensemble.MarshalBinary decode=UnmarshalEnsemble
 type ensembleRecord struct {
 	Members [][]byte
 }

@@ -129,6 +129,8 @@ func (c *CUSUM) WindowDelta() float64 {
 // CUSUMState is a serializable copy of a CUSUM's mutable state, used by
 // checkpointing: the current value, the observation count, and the ring
 // of the last W pre-update values the windowed test reads.
+//
+//driftlint:snapshot encode=CUSUM.State decode=CUSUM.SetState
 type CUSUMState struct {
 	Value float64
 	Count int

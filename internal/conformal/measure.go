@@ -352,7 +352,7 @@ func PValue(calib []float64, a float64, u float64) float64 {
 		switch {
 		case c > a:
 			score++
-		case c == a:
+		case c == a: //lint:allow floatcmp exact ties are defined behavior: Eq. 1 weights them by the uniform draw u
 			score += u
 		}
 	}
@@ -382,7 +382,7 @@ func (s *SortedCalib) Len() int { return len(s.scores) }
 // computed by binary search.
 func (s *SortedCalib) PValue(a float64, u float64) float64 {
 	n := len(s.scores)
-	lo := sort.SearchFloat64s(s.scores, a)          // first index with score >= a
+	lo := sort.SearchFloat64s(s.scores, a)                            // first index with score >= a
 	hi := sort.Search(n, func(i int) bool { return s.scores[i] > a }) // first > a
 	greater := float64(n - hi)
 	ties := float64(hi - lo)

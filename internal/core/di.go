@@ -97,26 +97,30 @@ func (di *DriftInspector) Observe(pixels tensor.Vector) bool {
 		return false
 	}
 	di.sampled++
+	// Stage timestamps come from the tracer's injected clock, never
+	// time.Now: the untraced path reads no clock at all, and traced
+	// deterministic replays stay bit-identical under a test clock (the
+	// driftlint determinism analyzer enforces this).
 	tr := di.tracer
 	var t0 time.Time
 	if tr != nil {
-		t0 = time.Now()
+		t0 = tr.Now()
 	}
 	feat := di.fz.Appearance(pixels, di.entry.W, di.entry.H)
 	if tr != nil {
-		t1 := time.Now()
+		t1 := tr.Now()
 		tr.ObserveStage(telemetry.StageFeaturize, t1.Sub(t0))
 		t0 = t1
 	}
 	a := di.scorer.Score(feat)
 	if tr != nil {
-		t1 := time.Now()
+		t1 := tr.Now()
 		tr.ObserveStage(telemetry.StageKNNScore, t1.Sub(t0))
 		t0 = t1
 	}
 	p := di.entry.Calib.PValue(a, di.rng.Float64())
 	if tr != nil {
-		t1 := time.Now()
+		t1 := tr.Now()
 		tr.ObserveStage(telemetry.StagePValue, t1.Sub(t0))
 		t0 = t1
 	}
@@ -124,7 +128,7 @@ func (di *DriftInspector) Observe(pixels tensor.Vector) bool {
 	di.mart.Update(p)
 	fired := di.test.Check(di.mart)
 	if tr != nil {
-		tr.ObserveStage(telemetry.StageMartingale, time.Since(t0))
+		tr.ObserveStage(telemetry.StageMartingale, tr.Now().Sub(t0))
 		tr.MartingaleUpdate(p, di.mart.Value(), di.mart.WindowDelta(), di.MeanP())
 		if fired {
 			tr.DriftDeclared(di.entry.Name, di.seen, di.sampled, di.mart.Value(), di.mart.WindowDelta(), di.MeanP())
@@ -172,6 +176,8 @@ func (di *DriftInspector) Reset() {
 // state: the martingale, the tie-break RNG's stream position, and the
 // frame counters. Together with the (externally supplied) DIConfig and
 // model entry it reconstructs the inspector bit-exactly.
+//
+//driftlint:snapshot encode=DriftInspector.Snapshot decode=RestoreDriftInspector
 type DISnapshot struct {
 	Mart    conformal.CUSUMState
 	RNG     stats.RNGState

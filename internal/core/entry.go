@@ -219,6 +219,8 @@ func (e *ModelEntry) FeatMatrix() *tensor.RefMatrix {
 // with checkpointing, outlive the process that built it) while new
 // models trained after novel drifts are appended; every method is safe
 // for concurrent use. Entries themselves are immutable once provisioned.
+//
+//driftlint:locked
 type Registry struct {
 	mu      sync.RWMutex
 	entries []*ModelEntry

@@ -181,11 +181,15 @@ func (p *Pipeline) Process(f vidsim.Frame) Outcome {
 	p.metrics.ModelInvocations++
 	tr.FrameObserved(telemetryState(p.state))
 	out := Outcome{Invocations: 1}
+	// Stage timestamps come from the tracer's injected clock (see
+	// DriftInspector.Observe): time.Now here would break deterministic
+	// replay under a test clock, and driftlint's determinism analyzer
+	// rejects it.
 	if p.current.Classifier != nil {
 		if tr != nil {
-			t0 := time.Now()
+			t0 := tr.Now()
 			out.Prediction = p.current.Predict(f)
-			tr.ObserveStage(telemetry.StageClassify, time.Since(t0))
+			tr.ObserveStage(telemetry.StageClassify, tr.Now().Sub(t0))
 		} else {
 			out.Prediction = p.current.Predict(f)
 		}
@@ -207,11 +211,11 @@ func (p *Pipeline) Process(f vidsim.Frame) Outcome {
 		if len(p.buffer) >= p.selectionWindow() {
 			var t0 time.Time
 			if tr != nil {
-				t0 = time.Now()
+				t0 = tr.Now()
 			}
 			selected, candidates, used := p.runSelector()
 			if tr != nil {
-				tr.ObserveStage(telemetry.StageSelect, time.Since(t0))
+				tr.ObserveStage(telemetry.StageSelect, tr.Now().Sub(t0))
 				name := ""
 				if selected != nil {
 					name = selected.Name
@@ -233,11 +237,11 @@ func (p *Pipeline) Process(f vidsim.Frame) Outcome {
 		if len(p.buffer) >= p.cfg.NewModelFrames {
 			var t0 time.Time
 			if tr != nil {
-				t0 = time.Now()
+				t0 = tr.Now()
 			}
 			e := p.trainNewModel()
 			if tr != nil {
-				tr.ObserveStage(telemetry.StageTrain, time.Since(t0))
+				tr.ObserveStage(telemetry.StageTrain, tr.Now().Sub(t0))
 			}
 			tr.ModelTrained(e.Name, len(p.buffer))
 			p.metrics.ModelsTrained++

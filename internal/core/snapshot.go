@@ -13,6 +13,8 @@ import (
 // RestorePipeline rebuilds a pipeline whose every subsequent Process
 // call returns exactly what the snapshotted pipeline would have
 // returned — drift declarations, selections and trained models included.
+//
+//driftlint:snapshot encode=Pipeline.Snapshot decode=RestorePipeline
 type PipelineSnapshot struct {
 	// Current is the registry index (insertion order) of the deployed
 	// entry.

@@ -15,10 +15,10 @@ import (
 // AblationRow is one detector variant's performance on the ablation
 // transitions.
 type AblationRow struct {
-	Variant   string
-	MeanLag   float64 // frames after the drift (detected transitions only)
-	Missed    int
-	FalsePos  int
+	Variant     string
+	MeanLag     float64 // frames after the drift (detected transitions only)
+	Missed      int
+	FalsePos    int
 	Transitions int
 }
 

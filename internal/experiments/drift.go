@@ -16,10 +16,10 @@ import (
 // ground-truth drift before each detector declared it (-1 = missed), and
 // false positives before the drift.
 type DriftLag struct {
-	Sequence string
-	DILag    int
-	ODINLag  int
-	DIFalse  int
+	Sequence  string
+	DILag     int
+	ODINLag   int
+	DIFalse   int
 	ODINFalse int
 }
 
@@ -27,11 +27,11 @@ type DriftLag struct {
 // lags for DI versus ODIN-Detect, plus the monitoring wall time behind
 // Table 6.
 type Fig3Result struct {
-	Dataset     string
-	Lags        []DriftLag
-	DITime      time.Duration
-	ODINTime    time.Duration
-	FramesSeen  int
+	Dataset    string
+	Lags       []DriftLag
+	DITime     time.Duration
+	ODINTime   time.Duration
+	FramesSeen int
 }
 
 // detectOne measures the detection lag on one transition stream for both
@@ -163,8 +163,8 @@ func lagStr(l int) string {
 // Fig4Result reproduces Figure 4: detection lag on the gradual
 // ("slow drift") day→night transition.
 type Fig4Result struct {
-	DILag    int
-	ODINLag  int
+	DILag      int
+	ODINLag    int
 	Transition int // frames over which the drift unfolds
 }
 

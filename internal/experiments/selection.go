@@ -29,11 +29,11 @@ type SelectionOutcome struct {
 // Table8Result aggregates the model-selection measurements of one dataset
 // (Tables 7 and 8, and the selection half of Figure 6).
 type Table8Result struct {
-	Dataset    string
-	Models     int
-	Outcomes   []SelectionOutcome
-	ODINTime   time.Duration // ODIN-Select over the full stream
-	ODINFrames int
+	Dataset      string
+	Models       int
+	Outcomes     []SelectionOutcome
+	ODINTime     time.Duration // ODIN-Select over the full stream
+	ODINFrames   int
 	ODINPerFrame time.Duration
 }
 

@@ -57,6 +57,8 @@ func (c *countingSource) Seed(seed int64) {
 // RNGState is a serializable description of an RNG's exact position in
 // its stream: replaying Draws source steps from Seed reproduces the
 // generator bit-identically.
+//
+//driftlint:snapshot encode=RNG.State decode=ResumeRNG
 type RNGState struct {
 	Seed  int64
 	Draws uint64

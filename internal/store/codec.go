@@ -79,6 +79,8 @@ func (e *VersionError) Error() string {
 // across shards (the provisioned base models) are persisted once and
 // restored as one shared object, exactly as NewShardedMonitor wires
 // them.
+//
+//driftlint:snapshot encode=Encode decode=Decode
 type Checkpoint struct {
 	// CreatedUnixNano stamps when the snapshot was captured.
 	CreatedUnixNano int64
@@ -101,6 +103,8 @@ type ShardState struct {
 }
 
 // entryRecord is the gob wire form of one core.ModelEntry.
+//
+//driftlint:snapshot encode=encodeEntry decode=buildEntry
 type entryRecord struct {
 	Name        string
 	W, H        int
@@ -117,6 +121,8 @@ type entryRecord struct {
 // checkpointRecord is the gob wire form of the payload. Entries are
 // nested gob blobs with individual checksums so integrity is reportable
 // per model.
+//
+//driftlint:snapshot encode=Encode decode=decodeRecord,Decode
 type checkpointRecord struct {
 	CreatedUnixNano int64
 	Frames          int64

@@ -258,6 +258,20 @@ func New(cfg Config) *Tracer {
 // Enabled reports whether the tracer records anything (i.e. is non-nil).
 func (t *Tracer) Enabled() bool { return t != nil }
 
+// Now reads the tracer's injected clock (Config.Now; the wall clock by
+// default). Replay-critical packages must take timestamps through this
+// method rather than time.Now — the driftlint determinism analyzer
+// enforces it — so tests and deterministic replays can drive every
+// clock read through Config.Now. A nil tracer returns the zero time;
+// instrumented code only consults the clock when tracing is enabled.
+func (t *Tracer) Now() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	// t.now is set once in New and never mutated, so no lock is needed.
+	return t.now()
+}
+
 // emit stamps and counts an event; ring selects whether it is retained.
 // The caller holds t.mu.
 func (t *Tracer) emit(e Event, ring bool) {

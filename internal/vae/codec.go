@@ -12,6 +12,8 @@ import (
 // trainable tensor in params() order, and the generator's exact stream
 // position so a restored VAE's future Fit/Sample draws match the
 // original's.
+//
+//driftlint:snapshot encode=VAE.MarshalBinary decode=UnmarshalVAE
 type vaeRecord struct {
 	Config  Config
 	Weights [][]float64

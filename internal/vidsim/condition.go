@@ -173,10 +173,10 @@ func Angle(k int, rate float64, similarTo int) Condition {
 		CarIntensity: bg - 0.28 - 0.04*float64(k%3),
 		BusIntensity: bg - 0.36 - 0.03*float64(k%2),
 		ObjNoise:     0.03,
-		ObjScale: 0.8 + 0.15*float64(k%3),
-		BandLo:   0.15 + 0.12*float64(k%4), BandHi: 0.55 + 0.1*float64(k%4),
-		SpeedX:   0.8 + 0.3*float64(k%2), SpeedVar: 0.3,
-		Weather:  Clear,
+		ObjScale:     0.8 + 0.15*float64(k%3),
+		BandLo:       0.15 + 0.12*float64(k%4), BandHi: 0.55 + 0.1*float64(k%4),
+		SpeedX: 0.8 + 0.3*float64(k%2), SpeedVar: 0.3,
+		Weather: Clear,
 	}
 	if k%2 == 0 {
 		base.SpeedX = -base.SpeedX

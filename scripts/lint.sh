@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Run the repo's full lint gate locally — the same checks CI enforces
+# (see .github/workflows/ci.yml). staticcheck and govulncheck are
+# skipped gracefully when not installed; everything else is stdlib-only.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> gofmt"
+out=$(gofmt -l .)
+if [ -n "$out" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$out" >&2
+	exit 1
+fi
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> driftlint"
+go run ./cmd/driftlint ./...
+
+if command -v staticcheck >/dev/null 2>&1; then
+	echo "==> staticcheck"
+	staticcheck ./...
+else
+	echo "==> staticcheck not installed; skipping (CI runs it)"
+fi
+
+if command -v govulncheck >/dev/null 2>&1; then
+	echo "==> govulncheck"
+	govulncheck ./...
+else
+	echo "==> govulncheck not installed; skipping (CI runs it)"
+fi
+
+echo "lint OK"
