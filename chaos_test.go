@@ -1,0 +1,425 @@
+package videodrift
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"videodrift/internal/core"
+	"videodrift/internal/faults"
+	"videodrift/internal/store"
+	"videodrift/internal/vidsim"
+)
+
+// deliverStreams runs each shard's clean stream through the injector's
+// frame-level faults (corruption, drops, duplicates) and truncates the
+// ragged results to a common length so they can be fed batch-wise. The
+// truncation point is part of the schedule's deterministic outcome.
+func deliverStreams(inj *faults.Injector, streams [][]Frame) [][]Frame {
+	delivered := make([][]Frame, len(streams))
+	minLen := -1
+	for s := range streams {
+		for i, f := range streams[s] {
+			delivered[s] = append(delivered[s], inj.Apply(s, i, f)...)
+		}
+		if minLen < 0 || len(delivered[s]) < minLen {
+			minLen = len(delivered[s])
+		}
+	}
+	for s := range delivered {
+		delivered[s] = delivered[s][:minLen]
+	}
+	return delivered
+}
+
+// survivors drops the frames the admission gate will quarantine,
+// leaving the stream a clean reference monitor should see.
+func survivors(frames []Frame) []Frame {
+	var out []Frame
+	for _, f := range frames {
+		if core.FrameProblem(f, 16, 16) == "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// fogStream renders a live clip of a condition novel to both
+// provisioned models (near-invisible objects in uniform mid-gray), so a
+// drift on it must end in training rather than reselection.
+func fogStream(n int, seed int64) []Frame {
+	fog := vidsim.Condition{
+		Name: "fog", Background: 0.50, BgNoise: 0.05, BgDrift: 0.004,
+		CarRate: 5.5, BusRate: 0, Burst: 0.5,
+		CarIntensity: 0.55, BusIntensity: 0.44, ObjNoise: 0.03,
+		ObjScale: 1.2, BandLo: 0.2, BandHi: 0.6, SpeedX: 0.7, SpeedVar: 0.3,
+	}
+	return vidsim.GenerateTrainingStride(fog, 16, 16, n, 1, seed)
+}
+
+// TestChaosEquivalence is the harness's headline guarantee: a seeded
+// chaos run — NaN/Inf pixels, wrong dimensions, dropped and duplicated
+// frames, injected worker panics with supervised restarts — leaves the
+// drift machinery's decisions on the surviving frames bit-identical to
+// a clean run that never saw the faults. Checked for both selectors at
+// 1 and 4 shards.
+func TestChaosEquivalence(t *testing.T) {
+	models := getCkptModels()
+	const total = 200
+
+	for _, tc := range []struct {
+		name     string
+		selector Selector
+		shards   int
+		seed     int64
+	}{
+		{"msbi-shards1", MSBI, 1, 701},
+		{"msbi-shards4", MSBI, 4, 702},
+		{"msbo-shards1", MSBO, 1, 703},
+		{"msbo-shards4", MSBO, 4, 704},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sched := faults.Generate(tc.seed, faults.GenConfig{
+				Shards: tc.shards, Frames: total,
+				CorruptRate: 0.04, DropRate: 0.02, DupRate: 0.02,
+				Panics: 2,
+			})
+			streams := make([][]Frame, tc.shards)
+			for s := range streams {
+				streams[s] = driftStream(total, 60+10*s, tc.seed+int64(100*s))
+			}
+			inj := faults.NewInjector(sched)
+			delivered := deliverStreams(inj, streams)
+
+			opts := Defaults(facadeDim, facadeClasses)
+			opts.Pipeline.Selector = tc.selector
+			chaos := NewShardedMonitor(models, facadeLabeler, ShardedOptions{
+				Options: opts, Shards: tc.shards, Faults: inj,
+			})
+			events := runBatches(chaos, delivered, 0, len(delivered[0]))
+
+			// The reference fleet never sees faults: same seeds, fed only
+			// the frames that survive the gate.
+			ref := NewShardedMonitor(models, facadeLabeler, ShardedOptions{
+				Options: opts, Shards: tc.shards,
+			})
+			for s := 0; s < tc.shards; s++ {
+				clean := survivors(delivered[s])
+				quarantined := len(delivered[s]) - len(clean)
+				var kept []Event
+				for _, ev := range events[s] {
+					if !ev.Quarantined {
+						kept = append(kept, ev)
+					}
+				}
+				if len(kept) != len(clean) {
+					t.Fatalf("shard %d: %d surviving events for %d surviving frames (quarantined %d)",
+						s, len(kept), len(clean), quarantined)
+				}
+				mon := ref.Shard(s)
+				for j, f := range clean {
+					want := mon.Process(f)
+					if kept[j] != want {
+						t.Fatalf("shard %d frame %d: chaos event %+v, clean event %+v", s, j, kept[j], want)
+					}
+				}
+				if got, want := chaos.Shard(s).Current(), mon.Current(); got != want {
+					t.Errorf("shard %d: deployed %q, clean run deployed %q", s, got, want)
+				}
+				cm, rm := chaos.ShardStats(s), mon.Stats()
+				if cm.QuarantinedFrames != quarantined {
+					t.Errorf("shard %d: QuarantinedFrames = %d, want %d", s, cm.QuarantinedFrames, quarantined)
+				}
+				if cm.Frames != rm.Frames+quarantined || cm.ModelInvocations != rm.ModelInvocations ||
+					cm.DriftsDetected != rm.DriftsDetected {
+					t.Errorf("shard %d: chaos metrics %+v vs clean %+v", s, cm, rm)
+				}
+			}
+			h := chaos.Health()
+			if !h.Serving() || h.State == HealthFailed {
+				t.Errorf("fleet health after recoverable chaos = %+v", h)
+			}
+			wantRestarts := inj.Stats().Count(faults.KindWorkerPanic)
+			gotRestarts := 0
+			for _, sh := range h.Shards {
+				gotRestarts += sh.Restarts
+			}
+			if gotRestarts != wantRestarts {
+				t.Errorf("worker restarts = %d, want %d (fired panics)", gotRestarts, wantRestarts)
+			}
+		})
+	}
+}
+
+// TestChaosReplayDeterminism replays three generated schedules end to
+// end twice each: identical seeds must yield bit-identical event
+// streams, deployments and metrics — a chaos run is as reproducible as
+// a clean one.
+func TestChaosReplayDeterminism(t *testing.T) {
+	models := getCkptModels()
+	const shards, total = 2, 160
+
+	for _, seed := range []int64{11, 12, 13} {
+		sched := faults.Generate(seed, faults.GenConfig{
+			Shards: shards, Frames: total,
+			CorruptRate: 0.05, DropRate: 0.02, DupRate: 0.02,
+			Panics: 3, TrainFailures: 1,
+		})
+		run := func() ([][]Event, []string, Metrics) {
+			inj := faults.NewInjector(sched)
+			streams := make([][]Frame, shards)
+			for s := range streams {
+				streams[s] = driftStream(total, 50+20*s, seed+int64(10*s))
+			}
+			delivered := deliverStreams(inj, streams)
+			opts := Defaults(facadeDim, facadeClasses)
+			sm := NewShardedMonitor(models, facadeLabeler, ShardedOptions{
+				Options: opts, Shards: shards, Faults: inj,
+			})
+			events := runBatches(sm, delivered, 0, len(delivered[0]))
+			deployed := make([]string, shards)
+			for s := range deployed {
+				deployed[s] = sm.Shard(s).Current()
+			}
+			return events, deployed, sm.Stats()
+		}
+		e1, d1, m1 := run()
+		e2, d2, m2 := run()
+		for s := range e1 {
+			if len(e1[s]) != len(e2[s]) {
+				t.Fatalf("seed %d shard %d: replay produced %d events vs %d", seed, s, len(e2[s]), len(e1[s]))
+			}
+			for j := range e1[s] {
+				if e1[s][j] != e2[s][j] {
+					t.Fatalf("seed %d shard %d frame %d: %+v vs %+v", seed, s, j, e1[s][j], e2[s][j])
+				}
+			}
+			if d1[s] != d2[s] {
+				t.Fatalf("seed %d shard %d: deployed %q vs %q", seed, s, d1[s], d2[s])
+			}
+		}
+		if m1 != m2 {
+			t.Fatalf("seed %d: metrics %+v vs %+v", seed, m1, m2)
+		}
+	}
+}
+
+// TestChaosCrashLoopBreaker wedges one shard in a deterministic crash
+// loop (a panic that re-fires on every supervised re-feed) and checks
+// the circuit breaker: the shard fails after MaxRestarts restarts, its
+// remaining frames are dropped and counted, and the healthy shard's
+// stream is untouched.
+func TestChaosCrashLoopBreaker(t *testing.T) {
+	models := getCkptModels()
+	const total, panicAt, maxRestarts = 20, 5, 2
+
+	inj := faults.NewInjector(faults.Schedule{Seed: 31, Faults: []faults.Fault{
+		{Shard: 1, Frame: panicAt, Kind: faults.KindWorkerPanic, Times: 10},
+	}})
+	tracers := []*Tracer{NewTracer(TracerConfig{}), NewTracer(TracerConfig{})}
+	opts := Defaults(facadeDim, facadeClasses)
+	sm := NewShardedMonitor(models, facadeLabeler, ShardedOptions{
+		Options: opts, Shards: 2, Tracers: tracers,
+		Faults: inj, MaxRestarts: maxRestarts,
+	})
+	streams := [][]Frame{
+		driftStream(total, 10, 991),
+		driftStream(total, 10, 992),
+	}
+	events := runBatches(sm, streams, 0, total)
+
+	h := sm.Health()
+	if h.State != HealthFailed || h.Serving() {
+		t.Fatalf("fleet health after crash loop = %+v", h)
+	}
+	if h.Shards[0].State == HealthFailed || h.Shards[0].Restarts != 0 {
+		t.Errorf("healthy shard affected: %+v", h.Shards[0])
+	}
+	bad := h.Shards[1]
+	if bad.State != HealthFailed || bad.Restarts != maxRestarts {
+		t.Errorf("failed shard: %+v, want failed with %d restarts", bad, maxRestarts)
+	}
+	if want := total - panicAt; bad.DroppedFrames != want {
+		t.Errorf("DroppedFrames = %d, want %d", bad.DroppedFrames, want)
+	}
+	for j := panicAt; j < total; j++ {
+		if events[1][j] != (Event{}) {
+			t.Fatalf("failed shard emitted a non-zero event at frame %d: %+v", j, events[1][j])
+		}
+	}
+	if tracers[1].Health() != HealthFailed {
+		t.Errorf("failed shard tracer health = %v", tracers[1].Health())
+	}
+	snap := tracers[1].Snapshot()
+	if snap.WorkerRestarts != maxRestarts {
+		t.Errorf("telemetry WorkerRestarts = %d, want %d", snap.WorkerRestarts, maxRestarts)
+	}
+
+	// The healthy shard's events must match a solo clean run.
+	ref := NewMonitor(models, facadeLabeler, opts)
+	for j, f := range streams[0] {
+		if want := ref.Process(f); events[0][j] != want {
+			t.Fatalf("healthy shard frame %d: %+v, clean %+v", j, events[0][j], want)
+		}
+	}
+}
+
+// TestChaosStallWatchdog wedges a worker on an injected stall and
+// drives the watchdog with a fake clock: Health must flip to stalled
+// (not serving) while the frame is in flight past StallTimeout, and
+// recover the moment the worker finishes. No wall-clock sleeping.
+func TestChaosStallWatchdog(t *testing.T) {
+	models := getCkptModels()
+	const stallAt = 3
+
+	inj := faults.NewInjector(faults.Schedule{Seed: 41, Faults: []faults.Fault{
+		{Shard: 0, Frame: stallAt, Kind: faults.KindWorkerStall, Stall: time.Hour},
+	}})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	inj.SetSleeper(func(time.Duration) {
+		close(entered)
+		<-release
+	})
+	var nanos atomic.Int64
+	nanos.Store(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC).UnixNano())
+
+	opts := Defaults(facadeDim, facadeClasses)
+	sm := NewShardedMonitor(models, facadeLabeler, ShardedOptions{
+		Options: opts, Shards: 1, Faults: inj,
+		StallTimeout: time.Second,
+		Clock:        func() time.Time { return time.Unix(0, nanos.Load()) },
+	})
+	stream := driftStream(10, 5, 881)
+	for j := 0; j < stallAt; j++ {
+		sm.ProcessBatch([]Frame{stream[j]})
+	}
+	if h := sm.Health(); h.Stalled || !h.Serving() {
+		t.Fatalf("health before stall = %+v", h)
+	}
+
+	done := make(chan []Event)
+	go func() { done <- sm.ProcessBatch([]Frame{stream[stallAt]}) }()
+	<-entered
+	nanos.Add(int64(5 * time.Second))
+	h := sm.Health()
+	if !h.Stalled || h.Serving() || !h.Shards[0].Stalled || h.Shards[0].State != HealthDegraded {
+		t.Fatalf("health mid-stall = %+v, want stalled and not serving", h)
+	}
+	close(release)
+	<-done
+	if h := sm.Health(); h.Stalled || !h.Serving() {
+		t.Fatalf("health after stall cleared = %+v", h)
+	}
+}
+
+// TestChaosCheckpointRetry drives checkpoint saves through a FlakyFS
+// that tears the first write at a scheduled byte offset, wrapped in the
+// capped-backoff retry policy driftserve uses: the failure is counted
+// and traced, the retry lands, and LoadLatest returns the checkpoint.
+func TestChaosCheckpointRetry(t *testing.T) {
+	models := getCkptModels()
+	opts := Defaults(facadeDim, facadeClasses)
+	mon := NewMonitor(models, facadeLabeler, opts)
+	for _, f := range driftStream(40, 20, 551) {
+		mon.Process(f)
+	}
+	cp := mon.Checkpoint()
+
+	ffs := faults.NewFlakyFS(store.NewMemFS(), faults.Schedule{
+		CheckpointFaults: map[int]int{0: 64},
+	})
+	st, err := store.OpenFS("/ckpt", ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracer(TracerConfig{})
+	var sleeps int
+	policy := faults.Policy{Attempts: 3, Base: time.Millisecond, Cap: time.Millisecond,
+		Sleep: func(time.Duration) { sleeps++ }}
+	err = policy.Do(func() error {
+		_, serr := st.Save(cp)
+		return serr
+	}, func(attempt int, ferr error) {
+		tr.CheckpointFailed(attempt, ferr.Error())
+		if !errors.Is(ferr, faults.ErrInjected) {
+			t.Fatalf("attempt %d failed with a real error: %v", attempt, ferr)
+		}
+	})
+	if err != nil {
+		t.Fatalf("save never succeeded: %v", err)
+	}
+	if ffs.Injured() != 1 || sleeps != 1 {
+		t.Errorf("injured=%d sleeps=%d, want 1 and 1", ffs.Injured(), sleeps)
+	}
+	if snap := tr.Snapshot(); snap.CheckpointFailures != 1 {
+		t.Errorf("telemetry CheckpointFailures = %d", snap.CheckpointFailures)
+	}
+	loaded, _, err := st.LoadLatest()
+	if err != nil {
+		t.Fatalf("LoadLatest after retried save: %v", err)
+	}
+	if loaded.Frames != cp.Frames || len(loaded.Shards) != 1 {
+		t.Errorf("recovered checkpoint frames=%d shards=%d, want %d and 1",
+			loaded.Frames, len(loaded.Shards), cp.Frames)
+	}
+	resumed, err := Resume(loaded, facadeLabeler, opts)
+	if err != nil {
+		t.Fatalf("resume from retried checkpoint: %v", err)
+	}
+	if resumed.Current() != mon.Current() {
+		t.Errorf("resumed deploys %q, original %q", resumed.Current(), mon.Current())
+	}
+}
+
+// TestChaosTrainingFailureRecovery injects post-drift training failures
+// into a sharded run on a novel distribution: the pipeline retries with
+// frame-count backoff, health dips to degraded and recovers once the
+// retrained model deploys, and the deployed-model sequence ends where
+// the clean run's does.
+func TestChaosTrainingFailureRecovery(t *testing.T) {
+	models := getCkptModels()
+	const total = 500
+
+	inj := faults.NewInjector(faults.Schedule{Seed: 61, TrainFailures: 1})
+	tracers := []*Tracer{NewTracer(TracerConfig{})}
+	opts := Defaults(facadeDim, facadeClasses)
+	opts.Pipeline.Selector = MSBI
+	opts.Pipeline.TrainBackoffFrames = 8
+	opts.Pipeline.NewModelFrames = 64
+	// Scale down training so the novel model trains in test time.
+	opts.Provision.VAEEpochs = 4
+	opts.Provision.SampleCount = 80
+	opts.Provision.EnsembleSize = 3
+	opts.Provision.Classifier.Epochs = 30
+	// A day-only registry leaves MSBI no acceptable candidate when the
+	// stream turns to night, forcing a post-drift training.
+	sm := NewShardedMonitor(models[:1], facadeLabeler, ShardedOptions{
+		Options: opts, Shards: 1, Tracers: tracers, Faults: inj,
+	})
+	stream := driftStream(total, 60, 71)
+	sawDegraded := false
+	for _, f := range stream {
+		sm.ProcessBatch([]Frame{f})
+		if tracers[0].Health() == HealthDegraded {
+			sawDegraded = true
+		}
+	}
+	if inj.TrainingFailuresFired() < 1 {
+		t.Fatal("no injected training failure fired; stream never drifted to training")
+	}
+	stats := sm.Stats()
+	if stats.TrainingFailures < 1 || stats.ModelsTrained < 1 {
+		t.Fatalf("stats after training chaos: %+v", stats)
+	}
+	if !sawDegraded {
+		t.Error("health never reported degraded during training retries")
+	}
+	if h := tracers[0].Health(); h != HealthOK {
+		t.Errorf("health after recovery = %v, want ok", h)
+	}
+	if snap := tracers[0].Snapshot(); snap.TrainingFailures < 1 {
+		t.Errorf("telemetry TrainingFailures = %d", snap.TrainingFailures)
+	}
+}

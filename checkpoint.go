@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"videodrift/internal/core"
-	"videodrift/internal/parallel"
 	"videodrift/internal/store"
 )
 
@@ -140,24 +139,21 @@ func ResumeSharded(cp *Checkpoint, labeler Labeler, opts ShardedOptions) (*Shard
 	if opts.Tracers != nil && len(opts.Tracers) < n {
 		return nil, fmt.Errorf("videodrift: %d tracers for %d shards", len(opts.Tracers), n)
 	}
-	sm := &ShardedMonitor{
-		shards: make([]*Monitor, n),
-		pool:   parallel.New(opts.Workers),
-	}
+	sm := newSharded(n, labeler, opts)
 	// Warm the shared feature matrices once, as NewShardedMonitor does.
 	for _, e := range cp.Entries {
 		e.FeatMatrix()
 	}
 	for i := range sm.shards {
-		shardOpts := opts.Options
-		if opts.Tracers != nil {
-			shardOpts.Tracer = opts.Tracers[i]
-		}
+		shardOpts := sm.shardOptions(i, opts)
 		m, err := resumeShard(cp, i, labeler, shardOpts)
 		if err != nil {
 			return nil, err
 		}
 		sm.shards[i] = m
+		st := &shardState{opts: shardOpts}
+		st.save(m)
+		sm.states[i] = st
 	}
 	return sm, nil
 }

@@ -18,9 +18,13 @@
 //	/events    the retained structured events (drifts, selections,
 //	           trainings, deployments), optionally ?kind=drift_declared
 //	           and/or ?shard=k
-//	/healthz   liveness plus frames-processed progress, shard count and
-//	           checkpoint freshness (503 when checkpointing is enabled
-//	           and the last checkpoint is more than 3 intervals old)
+//	/healthz   liveness plus degradation state: frames-processed
+//	           progress, shard count, per-shard health (quarantines,
+//	           worker restarts, dropped frames) and checkpoint
+//	           freshness. Returns 503 when a shard's crash-loop
+//	           breaker has tripped, a worker is wedged past the stall
+//	           timeout, or checkpointing is enabled and the last
+//	           checkpoint is more than 3 intervals old.
 //	/debug/pprof/…  the standard net/http/pprof profiles
 //
 // Usage:
@@ -29,10 +33,23 @@
 //	           [-selector msbo|msbi] [-train 300] [-shards 1] [-workers 0]
 //	           [-fps 240] [-frames 0] [-ring 4096] [-perframe] [-v]
 //	           [-state-dir dir] [-checkpoint-every 30s]
+//	           [-chaos seed] [-stall-timeout 10s]
 //
 // Streams loop forever (a fresh seed per lap keeps drifts coming) unless
 // -frames bounds the total; -fps throttles each shard's rate (0 runs
 // unthrottled).
+//
+// With -chaos, a seeded fault schedule is replayed against the run:
+// pixel corruption (quarantined at the admission gate), injected worker
+// panics (recovered by the supervisor, which restarts the shard from
+// its last snapshot) and one injected training failure per shard
+// (retried with frame-count backoff while the deployed model keeps
+// serving). Only lockstep-preserving faults are generated — no frame
+// drops or duplications — so every shard still advances one frame per
+// batch. The schedule is replayed relative to process start, so a warm
+// restart begins it again from frame zero. Checkpoint writes always go
+// through a capped-backoff retry policy; failures are counted in
+// telemetry.
 //
 // With -state-dir, driftserve periodically persists a full checkpoint —
 // every model (weights, reference samples, calibration) plus each
@@ -66,10 +83,15 @@ import (
 	"videodrift/internal/core"
 	"videodrift/internal/dataset"
 	"videodrift/internal/experiments"
+	"videodrift/internal/faults"
 	"videodrift/internal/query"
 	"videodrift/internal/telemetry"
 	"videodrift/internal/vidsim"
 )
+
+// chaosHorizon is the per-shard frame window the -chaos schedule covers;
+// faults land within the first chaosHorizon frames of each shard.
+const chaosHorizon = 5000
 
 func main() {
 	addr := flag.String("addr", ":9090", "HTTP listen address")
@@ -86,6 +108,8 @@ func main() {
 	verbose := flag.Bool("v", false, "log drift/selection events to stderr as they happen")
 	stateDir := flag.String("state-dir", "", "checkpoint directory for persistence and warm restart (empty = off)")
 	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "background checkpoint interval (needs -state-dir)")
+	chaosSeed := flag.Int64("chaos", 0, "replay a seeded fault schedule: pixel corruption, worker panics, training failures (0 = off)")
+	stallTimeout := flag.Duration("stall-timeout", 10*time.Second, "how long a shard may sit on one frame before /healthz reports it stalled")
 	flag.Parse()
 
 	var ds *dataset.Dataset
@@ -158,6 +182,22 @@ func main() {
 	for i := range tracers {
 		tracers[i] = telemetry.New(telemetry.Config{RingSize: *ring, PerFrame: *perFrame})
 	}
+	// With -chaos, generate a lockstep-preserving fault schedule (no
+	// drops or duplications: every shard must keep advancing one frame
+	// per batch) and replay it deterministically against the run.
+	var inj *faults.Injector
+	if *chaosSeed != 0 {
+		sched := faults.Generate(*chaosSeed, faults.GenConfig{
+			Shards: *shards, Frames: chaosHorizon,
+			CorruptRate:   0.002,
+			Panics:        *shards,
+			TrainFailures: 1,
+		})
+		inj = faults.NewInjector(sched)
+		fmt.Fprintf(os.Stderr, "chaos seed %d: %d scheduled faults over the first %d frames/shard\n",
+			*chaosSeed, len(sched.Faults), chaosHorizon)
+	}
+
 	pcfg := env.PipelineConfig(sel)
 	sopts := videodrift.ShardedOptions{
 		Options: videodrift.Options{
@@ -166,9 +206,11 @@ func main() {
 			Provision: pcfg.Provision,
 			Pipeline:  pcfg,
 		},
-		Shards:  *shards,
-		Workers: *workers,
-		Tracers: tracers,
+		Shards:       *shards,
+		Workers:      *workers,
+		Tracers:      tracers,
+		Faults:       inj,
+		StallTimeout: *stallTimeout,
 	}
 	var mon *videodrift.ShardedMonitor
 	if cp != nil {
@@ -231,7 +273,7 @@ func main() {
 			}
 		}
 		batch := make([]vidsim.Frame, *shards)
-		for {
+		for step := 0; ; step++ {
 			select {
 			case reply := <-ckptReq:
 				reply <- mon.Checkpoint()
@@ -243,6 +285,12 @@ func main() {
 					laps[s]++
 					streams[s] = newStream(s, laps[s])
 					f, ok = streams[s].Next()
+				}
+				// The chaos schedule holds no drop/dup faults, so Apply
+				// yields exactly one (possibly corrupted) frame; the
+				// admission gate quarantines the corrupted ones.
+				if out := inj.Apply(s, step, f); len(out) == 1 {
+					f = out[0]
 				}
 				batch[s] = f
 			}
@@ -286,6 +334,7 @@ func main() {
 	var saveMu sync.Mutex
 	var framesAtSave atomic.Int64
 	framesAtSave.Store(-1)
+	retry := faults.DefaultRetry()
 	saveCheckpoint := func(reason string) {
 		saveMu.Lock()
 		defer saveMu.Unlock()
@@ -294,9 +343,23 @@ func main() {
 			return // nothing happened since the last save
 		}
 		start := time.Now()
-		path, err := st.Save(capture())
+		cp := capture()
+		var path string
+		// A failed write never loses state: the store's atomic
+		// temp+rename leaves the previous generation intact, so retrying
+		// with capped backoff is always safe.
+		err := retry.Do(func() error {
+			var serr error
+			path, serr = st.Save(cp)
+			return serr
+		}, func(attempt int, serr error) {
+			log.Printf("checkpoint (%s) attempt %d: %v", reason, attempt, serr)
+			for _, tr := range tracers {
+				tr.CheckpointFailed(attempt, serr.Error())
+			}
+		})
 		if err != nil {
-			log.Printf("checkpoint (%s): %v", reason, err)
+			log.Printf("checkpoint (%s): giving up after %d attempts: %v", reason, retry.Attempts, err)
 			return
 		}
 		d := time.Since(start)
@@ -382,13 +445,36 @@ func main() {
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
+		h := mon.Health()
+		stats := mon.Stats()
+		shardHealth := make([]map[string]interface{}, len(h.Shards))
+		for i, sh := range h.Shards {
+			shardHealth[i] = map[string]interface{}{
+				"state":    sh.State.String(),
+				"stalled":  sh.Stalled,
+				"restarts": sh.Restarts,
+				"dropped":  sh.DroppedFrames,
+			}
+		}
 		resp := map[string]interface{}{
-			"status":    "ok",
-			"streaming": !done.Load(),
-			"shards":    len(tracers),
-			"frames":    processed.Load(),
+			"status":             h.State.String(),
+			"streaming":          !done.Load(),
+			"shards":             len(tracers),
+			"frames":             processed.Load(),
+			"quarantined_frames": stats.QuarantinedFrames,
+			"training_failures":  stats.TrainingFailures,
+			"shard_health":       shardHealth,
 		}
 		code := http.StatusOK
+		// A tripped crash-loop breaker or a wedged worker means the fleet
+		// is no longer answering every stream: fail readiness. Degraded
+		// (training retries on the still-serving deployed model) stays 200.
+		if !h.Serving() {
+			if h.Stalled {
+				resp["status"] = "stalled"
+			}
+			code = http.StatusServiceUnavailable
+		}
 		if st != nil {
 			age := time.Since(time.Unix(0, lastCkpt.Load()))
 			resp["state_dir"] = st.Dir()

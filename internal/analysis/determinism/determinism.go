@@ -22,6 +22,7 @@ var CriticalPackages = []string{
 	"videodrift/internal/stats",
 	"videodrift/internal/store",
 	"videodrift/internal/parallel",
+	"videodrift/internal/faults",
 }
 
 // randConstructors are the math/rand package-level functions that build

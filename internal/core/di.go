@@ -52,9 +52,10 @@ type DriftInspector struct {
 	rng    *stats.RNG
 	tracer *telemetry.Tracer
 
-	seen    int     // frames offered, including skipped ones
-	sampled int     // frames actually folded into the martingale
-	pSum    float64 // running sum of computed p-values
+	seen        int     // frames offered, including skipped ones
+	sampled     int     // frames actually folded into the martingale
+	quarantined int     // sampled frames rejected as malformed
+	pSum        float64 // running sum of computed p-values
 }
 
 // NewDriftInspector builds a monitor for the distribution captured by
@@ -94,6 +95,16 @@ func (di *DriftInspector) SetTracer(tr *telemetry.Tracer) { di.tracer = tr }
 func (di *DriftInspector) Observe(pixels tensor.Vector) bool {
 	di.seen++
 	if (di.seen-1)%di.cfg.SampleEvery != 0 {
+		return false
+	}
+	// Boundary validation (defense in depth behind the pipeline's
+	// admission gate, and the only gate for callers driving Observe
+	// directly): a malformed vector never reaches the featurizer, the
+	// kNN scorer or the martingale. Only sampled frames are scanned, so
+	// stride-skipped frames stay free.
+	if reason := PixelsProblem(pixels, di.entry.W, di.entry.H); reason != "" {
+		di.quarantined++
+		di.tracer.FrameQuarantined(reason)
 		return false
 	}
 	di.sampled++
@@ -154,6 +165,10 @@ func (di *DriftInspector) Observed() int { return di.seen }
 // martingale since the last reset.
 func (di *DriftInspector) Sampled() int { return di.sampled }
 
+// Quarantined returns the number of sampled frames rejected as
+// malformed since the last reset.
+func (di *DriftInspector) Quarantined() int { return di.quarantined }
+
 // MeanP returns the mean conformal p-value of the sampled frames since
 // the last reset (0.5 in expectation when the stream matches the model's
 // distribution — Theorem 4.1 — and near 0 under drift).
@@ -169,6 +184,7 @@ func (di *DriftInspector) Reset() {
 	di.mart.Reset()
 	di.seen = 0
 	di.sampled = 0
+	di.quarantined = 0
 	di.pSum = 0
 }
 
@@ -179,21 +195,23 @@ func (di *DriftInspector) Reset() {
 //
 //driftlint:snapshot encode=DriftInspector.Snapshot decode=RestoreDriftInspector
 type DISnapshot struct {
-	Mart    conformal.CUSUMState
-	RNG     stats.RNGState
-	Seen    int
-	Sampled int
-	PSum    float64
+	Mart        conformal.CUSUMState
+	RNG         stats.RNGState
+	Seen        int
+	Sampled     int
+	Quarantined int
+	PSum        float64
 }
 
 // Snapshot captures the inspector's current state for checkpointing.
 func (di *DriftInspector) Snapshot() DISnapshot {
 	return DISnapshot{
-		Mart:    di.mart.State(),
-		RNG:     di.rng.State(),
-		Seen:    di.seen,
-		Sampled: di.sampled,
-		PSum:    di.pSum,
+		Mart:        di.mart.State(),
+		RNG:         di.rng.State(),
+		Seen:        di.seen,
+		Sampled:     di.sampled,
+		Quarantined: di.quarantined,
+		PSum:        di.pSum,
 	}
 }
 
@@ -201,8 +219,8 @@ func (di *DriftInspector) Snapshot() DISnapshot {
 // against the same entry and config: every subsequent Observe returns
 // exactly what the snapshotted inspector would have returned.
 func RestoreDriftInspector(entry *ModelEntry, cfg DIConfig, snap DISnapshot) (*DriftInspector, error) {
-	if snap.Seen < 0 || snap.Sampled < 0 || snap.Sampled > snap.Seen {
-		return nil, fmt.Errorf("core: drift-inspector snapshot has inconsistent counters (seen=%d sampled=%d)", snap.Seen, snap.Sampled)
+	if snap.Seen < 0 || snap.Sampled < 0 || snap.Sampled > snap.Seen || snap.Quarantined < 0 {
+		return nil, fmt.Errorf("core: drift-inspector snapshot has inconsistent counters (seen=%d sampled=%d quarantined=%d)", snap.Seen, snap.Sampled, snap.Quarantined)
 	}
 	di := NewDriftInspector(entry, cfg, stats.ResumeRNG(snap.RNG))
 	if err := di.mart.SetState(snap.Mart); err != nil {
@@ -210,6 +228,7 @@ func RestoreDriftInspector(entry *ModelEntry, cfg DIConfig, snap DISnapshot) (*D
 	}
 	di.seen = snap.Seen
 	di.sampled = snap.Sampled
+	di.quarantined = snap.Quarantined
 	di.pSum = snap.PSum
 	return di, nil
 }

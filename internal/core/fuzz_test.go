@@ -1,0 +1,87 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"videodrift/internal/stats"
+	"videodrift/internal/tensor"
+	"videodrift/internal/vidsim"
+)
+
+// fuzzPixels decodes arbitrary fuzz bytes into a pixel vector,
+// deliberately mapping some byte values onto the adversarial floats the
+// admission gate exists for.
+func fuzzPixels(raw []byte) tensor.Vector {
+	px := make(tensor.Vector, len(raw))
+	for i, b := range raw {
+		switch b {
+		case 0xFF:
+			px[i] = math.NaN()
+		case 0xFE:
+			px[i] = math.Inf(1)
+		case 0xFD:
+			px[i] = math.Inf(-1)
+		case 0xFC:
+			px[i] = math.MaxFloat64
+		default:
+			px[i] = float64(b) / 255.0
+		}
+	}
+	return px
+}
+
+// FuzzObserveFrame drives arbitrary frames through the admission gate →
+// featurizer → kNN path, both via Pipeline.Process (the facade route)
+// and DriftInspector.Observe directly. Invariants: no panics, and no
+// NaN/Inf ever reaches the martingale or the p-value accumulator.
+func FuzzObserveFrame(f *testing.F) {
+	good := streamFrames(dayC(), 1, 601)[0]
+	seed := make([]byte, len(good.Pixels))
+	for i, v := range good.Pixels {
+		seed[i] = byte(v * 255)
+	}
+	f.Add(seed, uint8(testW), uint8(testH))
+	f.Add([]byte{}, uint8(0), uint8(0))
+	f.Add([]byte{0xFF, 0x10, 0xFE}, uint8(testW), uint8(testH))
+	f.Add(seed[:len(seed)/2], uint8(testW), uint8(testH))
+
+	entry := getFixture().day
+	f.Fuzz(func(t *testing.T, raw []byte, w, h uint8) {
+		if len(raw) > 4*testDim {
+			raw = raw[:4*testDim]
+		}
+		px := fuzzPixels(raw)
+		frame := vidsim.Frame{W: int(w), H: int(h), Pixels: px}
+
+		cfg := DefaultPipelineConfig(testDim, testNumClasses)
+		cfg.Selector = SelectorMSBI
+		cfg.DI.SampleEvery = 1
+		// Keep the fuzz loop fast: never actually train on garbage.
+		cfg.TrainFault = func() error { return errors.New("fuzz: training disabled") }
+		p := NewPipeline(NewRegistry(entry), testLabeler, cfg)
+
+		out := p.Process(frame)
+		if wellFormed := FrameProblem(frame, testW, testH) == ""; wellFormed == out.Quarantined {
+			t.Fatalf("gate verdict inconsistent: wellFormed=%v but outcome %+v", wellFormed, out)
+		}
+		p.Process(good) // a good frame must still flow after any input
+
+		di := NewDriftInspector(entry, cfg.DI, stats.NewRNG(1))
+		di.Observe(px)
+		di.Observe(good.Pixels)
+		for name, v := range map[string]float64{
+			"martingale":   di.MartingaleValue(),
+			"window delta": di.WindowDelta(),
+			"mean p":       di.MeanP(),
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s is non-finite after fuzzed input", name)
+			}
+		}
+		if snap := di.Snapshot(); math.IsNaN(snap.PSum) {
+			t.Fatal("NaN leaked into the p-value accumulator")
+		}
+	})
+}

@@ -41,6 +41,24 @@ type PipelineConfig struct {
 	// NewModelFrames is how many post-drift frames are collected before
 	// training a new model (paper: 5k; scaled down by default here).
 	NewModelFrames int
+	// TrainAttempts is how many times a failed post-drift training is
+	// retried before the pipeline gives up and degrades to the deployed
+	// model (<=0 means 1: no retries). Failures include panics inside
+	// Provision, which are caught and converted to errors.
+	TrainAttempts int
+	// TrainBackoffFrames is the backoff before the first training retry,
+	// measured in frames rather than wall time so replay stays
+	// deterministic (no clock). Doubles per attempt, capped at
+	// TrainBackoffCap.
+	TrainBackoffFrames int
+	// TrainBackoffCap bounds the frame backoff growth (<=0 means no
+	// cap).
+	TrainBackoffCap int
+	// TrainFault, when non-nil, is consulted before each training
+	// attempt; a non-nil error fails the attempt. It is the
+	// fault-injection hook (internal/faults) and must be deterministic
+	// for replayable runs.
+	TrainFault func() error
 	// Seed drives the pipeline's tie-break randomness.
 	Seed int64
 	// Tracer receives structured events and stage latencies. Nil (the
@@ -59,7 +77,12 @@ func DefaultPipelineConfig(frameDim, numClasses int) PipelineConfig {
 		Selector:       SelectorMSBO,
 		Provision:      DefaultProvisionConfig(frameDim, numClasses),
 		NewModelFrames: 256,
-		Seed:           7,
+
+		TrainAttempts:      3,
+		TrainBackoffFrames: 32,
+		TrainBackoffCap:    256,
+
+		Seed: 7,
 	}
 }
 
@@ -78,7 +101,8 @@ type Outcome struct {
 	Drift       bool   // a drift was declared on this frame
 	SwitchedTo  string // non-empty when a model was deployed this frame
 	TrainedNew  bool   // the switch deployed a freshly trained model
-	Invocations int    // model invocations spent on this frame (always 1)
+	Invocations int    // model invocations spent on this frame (1, or 0 when quarantined)
+	Quarantined bool   // the admission gate rejected the frame before any processing
 }
 
 // Metrics accumulates pipeline statistics for the end-to-end evaluation
@@ -87,13 +111,15 @@ type Outcome struct {
 // paper's §6.2 lag metric) is computable from metrics alone:
 // recovery frames = SelectingFrames + TrainingFrames.
 type Metrics struct {
-	Frames           int
-	ModelInvocations int
-	DriftsDetected   int
-	ModelsSelected   int
-	ModelsTrained    int
-	SelectingFrames  int // frames spent collecting a selection window
-	TrainingFrames   int // frames spent collecting new-model training data
+	Frames            int
+	ModelInvocations  int
+	DriftsDetected    int
+	ModelsSelected    int
+	ModelsTrained     int
+	SelectingFrames   int // frames spent collecting a selection window
+	TrainingFrames    int // frames spent collecting new-model training data
+	QuarantinedFrames int // malformed frames rejected by the admission gate
+	TrainingFailures  int // failed post-drift training attempts (retried with backoff)
 }
 
 // Pipeline is the operational architecture of Figure 1: frames flow
@@ -114,6 +140,13 @@ type Pipeline struct {
 	state  pipelineState
 	buffer []vidsim.Frame
 	novel  int // counter for naming trained models
+
+	// Degraded-mode training-retry state: consecutive failed attempts
+	// for the current training window, and how many more frames to wait
+	// before the next attempt (frame-count backoff — deterministic, no
+	// clock).
+	trainFails int
+	retryWait  int
 
 	metrics Metrics
 }
@@ -160,7 +193,12 @@ func (p *Pipeline) deploy(e *ModelEntry) {
 	p.di.SetTracer(p.cfg.Tracer)
 	p.state = stateMonitoring
 	p.buffer = nil
+	p.trainFails = 0
+	p.retryWait = 0
 	p.cfg.Tracer.ModelDeployed(e.Name)
+	// A successful deployment is full recovery; the tracer drops the
+	// transition when health was already ok.
+	p.cfg.Tracer.HealthChanged(telemetry.HealthOK, "model deployed: "+e.Name)
 }
 
 // selectionWindow returns how many frames the active selector needs.
@@ -178,8 +216,18 @@ func (p *Pipeline) selectionWindow() int {
 func (p *Pipeline) Process(f vidsim.Frame) Outcome {
 	tr := p.cfg.Tracer
 	p.metrics.Frames++
-	p.metrics.ModelInvocations++
 	tr.FrameObserved(telemetryState(p.state))
+	// Admission gate: a malformed frame (wrong dimensions, non-finite
+	// pixels) is quarantined before it can reach the classifier, the
+	// Drift Inspector's martingale, or a selection/training buffer — a
+	// run over the surviving frames is bit-identical to one that never
+	// saw the bad frames.
+	if reason := FrameProblem(f, p.current.W, p.current.H); reason != "" {
+		p.metrics.QuarantinedFrames++
+		tr.FrameQuarantined(reason)
+		return Outcome{Quarantined: true}
+	}
+	p.metrics.ModelInvocations++
 	out := Outcome{Invocations: 1}
 	// Stage timestamps come from the tracer's injected clock (see
 	// DriftInspector.Observe): time.Now here would break deterministic
@@ -234,14 +282,22 @@ func (p *Pipeline) Process(f vidsim.Frame) Outcome {
 	case stateTraining:
 		p.metrics.TrainingFrames++
 		p.buffer = append(p.buffer, f)
+		if p.retryWait > 0 {
+			p.retryWait--
+			break
+		}
 		if len(p.buffer) >= p.cfg.NewModelFrames {
 			var t0 time.Time
 			if tr != nil {
 				t0 = tr.Now()
 			}
-			e := p.trainNewModel()
+			e, err := p.trainNewModel()
 			if tr != nil {
 				tr.ObserveStage(telemetry.StageTrain, tr.Now().Sub(t0))
+			}
+			if err != nil {
+				p.trainingFailed(err)
+				break
 			}
 			tr.ModelTrained(e.Name, len(p.buffer))
 			p.metrics.ModelsTrained++
@@ -253,6 +309,42 @@ func (p *Pipeline) Process(f vidsim.Frame) Outcome {
 		}
 	}
 	return out
+}
+
+// trainingFailed handles one failed training attempt: retry with capped
+// frame-count backoff while attempts remain, then degrade — abandon the
+// window, keep serving the deployed model, and resume monitoring so a
+// persisting drift re-fires and re-enters selection.
+func (p *Pipeline) trainingFailed(err error) {
+	tr := p.cfg.Tracer
+	p.metrics.TrainingFailures++
+	p.trainFails++
+	name := fmt.Sprintf("novel-%d", p.novel+1)
+	tr.TrainingFailed(name, p.trainFails, err.Error())
+	attempts := p.cfg.TrainAttempts
+	if attempts <= 0 {
+		attempts = 1
+	}
+	if p.trainFails < attempts {
+		backoff := p.cfg.TrainBackoffFrames << (p.trainFails - 1)
+		if p.cfg.TrainBackoffCap > 0 && backoff > p.cfg.TrainBackoffCap {
+			backoff = p.cfg.TrainBackoffCap
+		}
+		p.retryWait = backoff
+		tr.HealthChanged(telemetry.HealthDegraded,
+			fmt.Sprintf("training %s failed (attempt %d/%d), retrying in %d frames", name, p.trainFails, attempts, backoff))
+		return
+	}
+	// Degraded mode: the deployed model keeps serving; monitoring
+	// restarts so a persisting drift is re-declared and re-enters
+	// selection instead of wedging the pipeline in stateTraining.
+	tr.HealthChanged(telemetry.HealthDegraded,
+		fmt.Sprintf("training %s failed %d times, serving %s degraded", name, p.trainFails, p.current.Name))
+	p.state = stateMonitoring
+	p.buffer = nil
+	p.trainFails = 0
+	p.retryWait = 0
+	p.di.Reset()
 }
 
 // telemetryState maps the pipeline state onto the telemetry taxonomy.
@@ -285,10 +377,25 @@ func (p *Pipeline) runSelector() (*ModelEntry, []telemetry.Candidate, int) {
 
 // trainNewModel provisions a model from the buffered post-drift frames
 // (§5.4: collect frames, annotate them, train the VAE and classifiers).
-func (p *Pipeline) trainNewModel() *ModelEntry {
-	p.novel++
-	name := fmt.Sprintf("novel-%d", p.novel)
+// Failures — the injected fault hook or a panic inside Provision — are
+// returned as errors for the retry/degrade path. The fault hook runs
+// before the RNG seed draw and the novel-counter bump, so a failed
+// attempt leaves the pipeline's replay-critical state untouched.
+func (p *Pipeline) trainNewModel() (e *ModelEntry, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			e, err = nil, fmt.Errorf("training panic: %v", r)
+		}
+	}()
+	if p.cfg.TrainFault != nil {
+		if ferr := p.cfg.TrainFault(); ferr != nil {
+			return nil, ferr
+		}
+	}
+	name := fmt.Sprintf("novel-%d", p.novel+1)
 	cfg := p.cfg.Provision
 	cfg.Seed = p.rng.Int63()
-	return Provision(name, p.buffer, p.labeler, cfg)
+	e = Provision(name, p.buffer, p.labeler, cfg)
+	p.novel++
+	return e, nil
 }

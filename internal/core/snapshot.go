@@ -28,6 +28,11 @@ type PipelineSnapshot struct {
 	// Novel is the counter naming mid-stream-trained models.
 	Novel   int
 	Metrics Metrics
+	// TrainFails and RetryWait are the degraded-mode training-retry
+	// state (failed attempts for the current window; frames left of the
+	// current backoff).
+	TrainFails int
+	RetryWait  int
 	// RNG is the pipeline's tie-break generator position; DI is the
 	// deployed inspector's state.
 	RNG stats.RNGState
@@ -46,13 +51,15 @@ func (p *Pipeline) Snapshot() PipelineSnapshot {
 		}
 	}
 	return PipelineSnapshot{
-		Current: cur,
-		State:   int(p.state),
-		Buffer:  append([]vidsim.Frame(nil), p.buffer...),
-		Novel:   p.novel,
-		Metrics: p.metrics,
-		RNG:     p.rng.State(),
-		DI:      p.di.Snapshot(),
+		Current:    cur,
+		State:      int(p.state),
+		Buffer:     append([]vidsim.Frame(nil), p.buffer...),
+		Novel:      p.novel,
+		Metrics:    p.metrics,
+		TrainFails: p.trainFails,
+		RetryWait:  p.retryWait,
+		RNG:        p.rng.State(),
+		DI:         p.di.Snapshot(),
 	}
 }
 
@@ -77,15 +84,17 @@ func RestorePipeline(reg *Registry, labeler Labeler, cfg PipelineConfig, snap Pi
 		return nil, fmt.Errorf("core: snapshot has unknown pipeline state %d", snap.State)
 	}
 	p := &Pipeline{
-		cfg:     cfg,
-		reg:     reg,
-		labeler: labeler,
-		rng:     stats.ResumeRNG(snap.RNG),
-		current: entries[snap.Current],
-		state:   pipelineState(snap.State),
-		buffer:  append([]vidsim.Frame(nil), snap.Buffer...),
-		novel:   snap.Novel,
-		metrics: snap.Metrics,
+		cfg:        cfg,
+		reg:        reg,
+		labeler:    labeler,
+		rng:        stats.ResumeRNG(snap.RNG),
+		current:    entries[snap.Current],
+		state:      pipelineState(snap.State),
+		buffer:     append([]vidsim.Frame(nil), snap.Buffer...),
+		novel:      snap.Novel,
+		metrics:    snap.Metrics,
+		trainFails: snap.TrainFails,
+		retryWait:  snap.RetryWait,
 	}
 	// MSBO thresholds are a pure function of the (bit-exactly restored)
 	// ensembles and calibration samples; recomputing reproduces them

@@ -1,0 +1,173 @@
+// Package faults is the repo's deterministic fault-injection harness.
+// A seeded Schedule describes frame-level corruption (NaN/Inf pixels,
+// wrong dimensions, dropped and duplicated frames) and infrastructure
+// faults (worker panics and stalls, training failures, checkpoint-write
+// failures); an Injector replays it bit-for-bit, so a chaos run is as
+// reproducible as a clean one — the same determinism invariant
+// driftlint enforces on the drift machinery itself. The package never
+// reads a wall clock or global randomness: every choice derives from
+// the schedule seed.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"videodrift/internal/stats"
+)
+
+// Kind enumerates the injectable fault types.
+type Kind uint8
+
+// Fault kinds. The first four corrupt a frame in flight; the last four
+// hit the infrastructure around the pipeline.
+const (
+	// KindNaNPixel sets one pixel to NaN.
+	KindNaNPixel Kind = iota
+	// KindInfPixel sets one pixel to ±Inf.
+	KindInfPixel
+	// KindShortFrame truncates the pixel vector.
+	KindShortFrame
+	// KindWrongDims corrupts the frame's declared geometry.
+	KindWrongDims
+	// KindDropFrame drops the frame before the monitor sees it.
+	KindDropFrame
+	// KindDuplicateFrame delivers the frame twice.
+	KindDuplicateFrame
+	// KindWorkerPanic panics inside the shard worker before Process.
+	KindWorkerPanic
+	// KindWorkerStall blocks the shard worker for Fault.Stall.
+	KindWorkerStall
+
+	kindCount
+)
+
+var kindNames = [kindCount]string{
+	"nan_pixel",
+	"inf_pixel",
+	"short_frame",
+	"wrong_dims",
+	"drop_frame",
+	"duplicate_frame",
+	"worker_panic",
+	"worker_stall",
+}
+
+// String returns the kind's snake_case name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Fault is one scheduled fault: Kind fires when shard Shard reaches
+// per-shard stream index Frame.
+type Fault struct {
+	Shard int
+	Frame int
+	Kind  Kind
+	// Times is how many times a worker panic/stall re-fires at this
+	// frame (0 means once). Re-fires hit the supervisor's restart of
+	// the same frame, which is how a crash loop is provoked.
+	Times int
+	// Stall is the block duration for KindWorkerStall.
+	Stall time.Duration
+}
+
+// Schedule is a seeded, replayable fault plan. Identical schedules
+// yield identical injected faults, byte for byte.
+type Schedule struct {
+	// Seed derives every data-dependent choice an injector makes (which
+	// pixel to corrupt, the corrupted value, truncation length).
+	Seed int64
+	// Faults holds the frame- and worker-level faults, sorted by
+	// (shard, frame, kind).
+	Faults []Fault
+	// TrainFailures is how many training attempts fail per shard before
+	// training is allowed to succeed.
+	TrainFailures int
+	// CheckpointFaults maps a 0-based checkpoint-save index to the byte
+	// offset at which that save's write fails (see FlakyFS).
+	CheckpointFaults map[int]int
+}
+
+// GenConfig parameterizes Generate.
+type GenConfig struct {
+	Shards int // shard count (>=1)
+	Frames int // per-shard stream length
+
+	// Per-frame fault probabilities.
+	CorruptRate float64 // one of NaN/Inf/short/wrong-dims
+	DropRate    float64
+	DupRate     float64
+
+	// Worker faults: total panics and stalls spread uniformly over
+	// (shard, frame) pairs.
+	Panics   int
+	Stalls   int
+	StallFor time.Duration
+
+	// Infrastructure faults.
+	TrainFailures    int // failed training attempts per shard
+	CheckpointFaults int // number of initial checkpoint saves that fail
+}
+
+// Generate builds a schedule from a seed: same seed and config, same
+// schedule. Draw order is fixed (frame sweep first, then worker faults,
+// then checkpoint faults), so schedules are stable across runs and
+// platforms.
+func Generate(seed int64, cfg GenConfig) Schedule {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	r := stats.NewRNG(seed)
+	s := Schedule{Seed: seed, TrainFailures: cfg.TrainFailures}
+	for shard := 0; shard < cfg.Shards; shard++ {
+		for frame := 0; frame < cfg.Frames; frame++ {
+			if cfg.CorruptRate > 0 && r.Float64() < cfg.CorruptRate {
+				s.Faults = append(s.Faults, Fault{Shard: shard, Frame: frame, Kind: Kind(r.Intn(4))})
+			}
+			if cfg.DropRate > 0 && r.Float64() < cfg.DropRate {
+				s.Faults = append(s.Faults, Fault{Shard: shard, Frame: frame, Kind: KindDropFrame})
+			}
+			if cfg.DupRate > 0 && r.Float64() < cfg.DupRate {
+				s.Faults = append(s.Faults, Fault{Shard: shard, Frame: frame, Kind: KindDuplicateFrame})
+			}
+		}
+	}
+	for i := 0; i < cfg.Panics; i++ {
+		s.Faults = append(s.Faults, Fault{
+			Shard: r.Intn(cfg.Shards), Frame: r.Intn(max(cfg.Frames, 1)), Kind: KindWorkerPanic,
+		})
+	}
+	for i := 0; i < cfg.Stalls; i++ {
+		s.Faults = append(s.Faults, Fault{
+			Shard: r.Intn(cfg.Shards), Frame: r.Intn(max(cfg.Frames, 1)), Kind: KindWorkerStall,
+			Stall: cfg.StallFor,
+		})
+	}
+	if cfg.CheckpointFaults > 0 {
+		s.CheckpointFaults = make(map[int]int, cfg.CheckpointFaults)
+		for i := 0; i < cfg.CheckpointFaults; i++ {
+			s.CheckpointFaults[i] = r.Intn(4096)
+		}
+	}
+	sortFaults(s.Faults)
+	return s
+}
+
+// sortFaults orders faults by (shard, frame, kind) — the canonical
+// order Injector and tests rely on.
+func sortFaults(fs []Fault) {
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].Shard != fs[j].Shard {
+			return fs[i].Shard < fs[j].Shard
+		}
+		if fs[i].Frame != fs[j].Frame {
+			return fs[i].Frame < fs[j].Frame
+		}
+		return fs[i].Kind < fs[j].Kind
+	})
+}

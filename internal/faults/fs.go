@@ -1,0 +1,86 @@
+package faults
+
+import (
+	"fmt"
+	iofs "io/fs"
+	"sync"
+
+	"videodrift/internal/store"
+)
+
+// FlakyFS wraps a store.FS and fails scheduled checkpoint writes: the
+// i-th CreateTemp'd file (0-based) listed in Schedule.CheckpointFaults
+// returns an injected error once its write reaches the scheduled byte
+// offset, leaving exactly the partial temp file a real crash would.
+// Reads, renames of successful writes, and unscheduled saves pass
+// through untouched, so store.LoadLatest recovery is exercised against
+// realistic wreckage. Safe for concurrent use.
+type FlakyFS struct {
+	base    store.FS
+	mu      sync.Mutex
+	saves   int
+	failAt  map[int]int
+	injured int // failed saves so far
+}
+
+// NewFlakyFS builds a FlakyFS over base from the schedule's
+// checkpoint-fault plan. A schedule with no checkpoint faults yields a
+// transparent wrapper.
+func NewFlakyFS(base store.FS, s Schedule) *FlakyFS {
+	return &FlakyFS{base: base, failAt: s.CheckpointFaults}
+}
+
+// Injured returns how many saves have been failed so far.
+func (f *FlakyFS) Injured() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injured
+}
+
+func (f *FlakyFS) MkdirAll(dir string, perm iofs.FileMode) error { return f.base.MkdirAll(dir, perm) }
+func (f *FlakyFS) ReadDir(dir string) ([]iofs.DirEntry, error)   { return f.base.ReadDir(dir) }
+func (f *FlakyFS) ReadFile(path string) ([]byte, error)          { return f.base.ReadFile(path) }
+func (f *FlakyFS) Rename(oldPath, newPath string) error          { return f.base.Rename(oldPath, newPath) }
+func (f *FlakyFS) Remove(path string) error                      { return f.base.Remove(path) }
+func (f *FlakyFS) SyncDir(dir string) error                      { return f.base.SyncDir(dir) }
+
+func (f *FlakyFS) CreateTemp(dir, pattern string) (store.File, error) {
+	file, err := f.base.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	idx := f.saves
+	f.saves++
+	offset, scheduled := f.failAt[idx]
+	if scheduled {
+		f.injured++
+	}
+	f.mu.Unlock()
+	if !scheduled {
+		return file, nil
+	}
+	return &tornWriteFile{File: file, remaining: offset, save: idx}, nil
+}
+
+// tornWriteFile accepts `remaining` bytes, then fails.
+type tornWriteFile struct {
+	store.File
+	remaining int
+	save      int
+}
+
+func (t *tornWriteFile) Write(p []byte) (int, error) {
+	if len(p) <= t.remaining {
+		t.remaining -= len(p)
+		return t.File.Write(p)
+	}
+	n := t.remaining
+	if n > 0 {
+		if _, err := t.File.Write(p[:n]); err != nil {
+			return 0, err
+		}
+		t.remaining = 0
+	}
+	return n, fmt.Errorf("%w: checkpoint write torn (save %d)", ErrInjected, t.save)
+}

@@ -1,0 +1,57 @@
+package faults
+
+import "time"
+
+// Policy is a capped-exponential retry policy: Attempts tries, sleeping
+// Base, 2·Base, 4·Base … (capped at Cap) between them. The sleeper is
+// injectable so tests and deterministic replays never touch the wall
+// clock; the zero value of Sleep means time.Sleep. Frame-count backoff
+// inside the pipeline (core.PipelineConfig.TrainBackoffFrames) covers
+// the replay-critical path; Policy is for the operational edges —
+// checkpoint writes in driftserve — where real sleeping is fine.
+type Policy struct {
+	Attempts int
+	Base     time.Duration
+	Cap      time.Duration
+	Sleep    func(time.Duration)
+}
+
+// DefaultRetry is the checkpoint-write policy driftserve uses.
+func DefaultRetry() Policy {
+	return Policy{Attempts: 3, Base: 100 * time.Millisecond, Cap: 2 * time.Second}
+}
+
+// Do runs op up to Attempts times, invoking onFail (if non-nil) after
+// each failed attempt with the 1-based attempt number, and returns the
+// last error (nil on success).
+func (p Policy) Do(op func() error, onFail func(attempt int, err error)) error {
+	attempts := p.Attempts
+	if attempts <= 0 {
+		attempts = 1
+	}
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	backoff := p.Base
+	var err error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if err = op(); err == nil {
+			return nil
+		}
+		if onFail != nil {
+			onFail(attempt, err)
+		}
+		if attempt == attempts {
+			break
+		}
+		if backoff > 0 {
+			sleep(backoff)
+			backoff *= 2
+			if p.Cap > 0 && backoff > p.Cap {
+				backoff = p.Cap
+			}
+		}
+	}
+	return err
+}

@@ -1,0 +1,183 @@
+package store
+
+import (
+	"io"
+	iofs "io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// File is the handle Save writes a checkpoint through. It is the
+// minimal slice of *os.File the atomic-write protocol needs, so a fault
+// injector can fail a write at an exact byte offset or kill the fsync.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// FS is the store's injectable I/O layer: every byte the checkpoint
+// store reads or writes goes through one of these methods. Production
+// stores use OSFS; tests and the fault-injection harness substitute
+// in-memory or deliberately failing implementations to prove that a
+// crash or I/O error at any point of a Save leaves the previous
+// generation loadable (see the crash-point tests and internal/faults).
+type FS interface {
+	MkdirAll(dir string, perm iofs.FileMode) error
+	ReadDir(dir string) ([]iofs.DirEntry, error)
+	ReadFile(path string) ([]byte, error)
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldPath, newPath string) error
+	Remove(path string) error
+	// SyncDir persists a completed rename (best effort — not all
+	// platforms support fsync on directories).
+	SyncDir(dir string) error
+}
+
+// OSFS is the real-filesystem FS every production store uses.
+var OSFS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string, perm iofs.FileMode) error { return os.MkdirAll(dir, perm) }
+func (osFS) ReadDir(dir string) ([]iofs.DirEntry, error)   { return os.ReadDir(dir) }
+func (osFS) ReadFile(path string) ([]byte, error)          { return os.ReadFile(path) }
+func (osFS) Rename(oldPath, newPath string) error          { return os.Rename(oldPath, newPath) }
+func (osFS) Remove(path string) error                      { return os.Remove(path) }
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	d.Close()
+	return err
+}
+
+// MemFS is an in-memory FS for tests and fault-injection harnesses: it
+// makes crash-point sweeps (kill the write at every byte offset) cheap,
+// and it write-throughs each Write call so a failed write leaves
+// exactly the partial temp file a real crash would. Safe for concurrent
+// use.
+type MemFS struct {
+	mu     sync.Mutex
+	files  map[string][]byte
+	tmpSeq int
+}
+
+// NewMemFS builds an empty in-memory filesystem.
+func NewMemFS() *MemFS { return &MemFS{files: map[string][]byte{}} }
+
+func (m *MemFS) MkdirAll(dir string, perm iofs.FileMode) error { return nil }
+
+func (m *MemFS) ReadDir(dir string) ([]iofs.DirEntry, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prefix := strings.TrimSuffix(dir, "/") + "/"
+	var names []string
+	for path := range m.files { //lint:allow determinism names are sorted before use
+		if strings.HasPrefix(path, prefix) && !strings.Contains(path[len(prefix):], "/") {
+			names = append(names, path[len(prefix):])
+		}
+	}
+	sort.Strings(names)
+	ents := make([]iofs.DirEntry, len(names))
+	for i, n := range names {
+		ents[i] = memDirEntry(n)
+	}
+	return ents, nil
+}
+
+func (m *MemFS) ReadFile(path string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[path]
+	if !ok {
+		return nil, &iofs.PathError{Op: "open", Path: path, Err: iofs.ErrNotExist}
+	}
+	return append([]byte(nil), data...), nil
+}
+
+func (m *MemFS) CreateTemp(dir, pattern string) (File, error) {
+	m.mu.Lock()
+	m.tmpSeq++
+	name := filepath.Join(dir, strings.Replace(pattern, "*", "mem"+strconv.Itoa(m.tmpSeq), 1))
+	m.files[name] = nil
+	m.mu.Unlock()
+	return &memFile{fs: m, name: name}, nil
+}
+
+func (m *MemFS) Rename(oldPath, newPath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[oldPath]
+	if !ok {
+		return &iofs.PathError{Op: "rename", Path: oldPath, Err: iofs.ErrNotExist}
+	}
+	m.files[newPath] = data
+	delete(m.files, oldPath)
+	return nil
+}
+
+func (m *MemFS) Remove(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[path]; !ok {
+		return &iofs.PathError{Op: "remove", Path: path, Err: iofs.ErrNotExist}
+	}
+	delete(m.files, path)
+	return nil
+}
+
+func (m *MemFS) SyncDir(dir string) error { return nil }
+
+// memFile writes through to the MemFS on every Write, so partial writes
+// are visible exactly as a crashed real write would leave them.
+type memFile struct {
+	fs   *MemFS
+	name string
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	f.fs.files[f.name] = append(f.fs.files[f.name], p...)
+	f.fs.mu.Unlock()
+	return len(p), nil
+}
+
+func (f *memFile) Sync() error  { return nil }
+func (f *memFile) Close() error { return nil }
+func (f *memFile) Name() string { return f.name }
+
+type memDirEntry string
+
+func (e memDirEntry) Name() string        { return string(e) }
+func (e memDirEntry) IsDir() bool         { return false }
+func (e memDirEntry) Type() iofs.FileMode { return 0 }
+func (e memDirEntry) Info() (iofs.FileInfo, error) {
+	return memFileInfo(e), nil
+}
+
+type memFileInfo string
+
+func (i memFileInfo) Name() string        { return string(i) }
+func (i memFileInfo) Size() int64         { return 0 }
+func (i memFileInfo) Mode() iofs.FileMode { return 0o644 }
+func (i memFileInfo) ModTime() time.Time  { return time.Time{} }
+func (i memFileInfo) IsDir() bool         { return false }
+func (i memFileInfo) Sys() interface{}    { return nil }

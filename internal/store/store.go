@@ -29,18 +29,28 @@ const (
 // for concurrent Save calls; the checkpoint scheduler serializes them.
 type Store struct {
 	dir string
+	fs  FS
 }
 
-// Open prepares a checkpoint store rooted at dir, creating the
-// directory if needed.
-func Open(dir string) (*Store, error) {
+// Open prepares a checkpoint store rooted at dir on the real
+// filesystem, creating the directory if needed.
+func Open(dir string) (*Store, error) { return OpenFS(dir, OSFS) }
+
+// OpenFS is Open over an injectable I/O layer — what the crash-point
+// tests and the fault-injection harness (internal/faults) use to fail
+// writes at exact byte offsets and prove LoadLatest always recovers the
+// previous generation.
+func OpenFS(dir string, fsys FS) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("store: empty directory")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if fsys == nil {
+		fsys = OSFS
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	return &Store{dir: dir, fs: fsys}, nil
 }
 
 // Dir returns the store's root directory.
@@ -62,7 +72,7 @@ func seqOf(name string) (uint64, bool) {
 // Paths returns the store's checkpoint files, newest (highest sequence)
 // first.
 func (s *Store) Paths() ([]string, error) {
-	ents, err := os.ReadDir(s.dir)
+	ents, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -116,12 +126,12 @@ func (s *Store) Save(cp *Checkpoint) (string, error) {
 		return "", err
 	}
 	final := filepath.Join(s.dir, fmt.Sprintf("%s%08d%s", filePrefix, seq, fileSuffix))
-	tmp, err := os.CreateTemp(s.dir, ".checkpoint-*.tmp")
+	tmp, err := s.fs.CreateTemp(s.dir, ".checkpoint-*.tmp")
 	if err != nil {
 		return "", fmt.Errorf("store: %w", err)
 	}
 	tmpName := tmp.Name()
-	defer os.Remove(tmpName) // no-op after a successful rename
+	defer s.fs.Remove(tmpName) // no-op after a successful rename
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		return "", fmt.Errorf("store: write %s: %w", tmpName, err)
@@ -133,15 +143,12 @@ func (s *Store) Save(cp *Checkpoint) (string, error) {
 	if err := tmp.Close(); err != nil {
 		return "", fmt.Errorf("store: close %s: %w", tmpName, err)
 	}
-	if err := os.Rename(tmpName, final); err != nil {
+	if err := s.fs.Rename(tmpName, final); err != nil {
 		return "", fmt.Errorf("store: %w", err)
 	}
 	// Persist the rename itself (best effort — not all platforms support
 	// fsync on directories).
-	if d, err := os.Open(s.dir); err == nil {
-		_ = d.Sync()
-		d.Close()
-	}
+	_ = s.fs.SyncDir(s.dir)
 	s.prune()
 	return final, nil
 }
@@ -154,7 +161,7 @@ func (s *Store) prune() {
 		return
 	}
 	for _, p := range paths[min(len(paths), retainCheckpoints):] {
-		_ = os.Remove(p)
+		_ = s.fs.Remove(p)
 	}
 }
 
@@ -186,7 +193,7 @@ func (s *Store) LoadLatest() (*Checkpoint, string, error) {
 	}
 	var failures []error
 	for _, p := range paths {
-		cp, err := LoadPath(p)
+		cp, err := s.loadPath(p)
 		if err != nil {
 			failures = append(failures, err)
 			continue
@@ -194,4 +201,17 @@ func (s *Store) LoadLatest() (*Checkpoint, string, error) {
 		return cp, p, nil
 	}
 	return nil, "", errors.Join(failures...)
+}
+
+// loadPath is LoadPath through the store's injected FS.
+func (s *Store) loadPath(path string) (*Checkpoint, error) {
+	data, err := s.fs.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	cp, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (%s)", err, path)
+	}
+	return cp, nil
 }

@@ -36,6 +36,13 @@ type Snapshot struct {
 	Deployments       uint64            `json:"model_deployments"`
 	Checkpoints       uint64            `json:"checkpoints,omitempty"`
 
+	// Fault / degradation counters and state.
+	Quarantined        uint64 `json:"quarantined_frames,omitempty"`
+	WorkerRestarts     uint64 `json:"worker_restarts,omitempty"`
+	TrainingFailures   uint64 `json:"training_failures,omitempty"`
+	CheckpointFailures uint64 `json:"checkpoint_failures,omitempty"`
+	Health             Health `json:"health"`
+
 	// LastCheckpointUnixNano is when the last checkpoint was persisted
 	// (0 when none has been).
 	LastCheckpointUnixNano int64 `json:"last_checkpoint_unix_nano,omitempty"`
@@ -68,6 +75,11 @@ func (t *Tracer) Snapshot() Snapshot {
 		ModelsTrained:          t.counts[KindModelTrained],
 		Deployments:            t.counts[KindModelDeployed],
 		Checkpoints:            t.counts[KindCheckpointSaved],
+		Quarantined:            t.counts[KindFrameQuarantined],
+		WorkerRestarts:         t.counts[KindWorkerRestarted],
+		TrainingFailures:       t.counts[KindTrainingFailed],
+		CheckpointFailures:     t.counts[KindCheckpointFailed],
+		Health:                 t.health,
 		LastCheckpointUnixNano: t.lastCheckpoint,
 		Martingale:             t.martingale,
 		WindowDelta:            t.windowDelta,
@@ -146,6 +158,26 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	p("# HELP videodrift_checkpoints_total Monitor checkpoints persisted to the state store.\n")
 	p("# TYPE videodrift_checkpoints_total counter\n")
 	p("videodrift_checkpoints_total %d\n", s.Checkpoints)
+
+	p("# HELP videodrift_quarantined_frames_total Malformed frames rejected by the admission gate.\n")
+	p("# TYPE videodrift_quarantined_frames_total counter\n")
+	p("videodrift_quarantined_frames_total %d\n", s.Quarantined)
+
+	p("# HELP videodrift_worker_restarts_total Shard workers restarted by the supervisor after a panic.\n")
+	p("# TYPE videodrift_worker_restarts_total counter\n")
+	p("videodrift_worker_restarts_total %d\n", s.WorkerRestarts)
+
+	p("# HELP videodrift_training_failures_total Failed post-drift training attempts.\n")
+	p("# TYPE videodrift_training_failures_total counter\n")
+	p("videodrift_training_failures_total %d\n", s.TrainingFailures)
+
+	p("# HELP videodrift_checkpoint_failures_total Failed checkpoint write attempts.\n")
+	p("# TYPE videodrift_checkpoint_failures_total counter\n")
+	p("videodrift_checkpoint_failures_total %d\n", s.CheckpointFailures)
+
+	p("# HELP videodrift_degraded Degradation state (0 ok, 1 degraded, 2 failed).\n")
+	p("# TYPE videodrift_degraded gauge\n")
+	p("videodrift_degraded %d\n", int(s.Health))
 
 	if s.LastCheckpointUnixNano > 0 {
 		p("# HELP videodrift_last_checkpoint_age_seconds Seconds since the last persisted checkpoint, at snapshot time.\n")

@@ -48,6 +48,23 @@ const (
 	// KindCheckpointSaved is a full monitor checkpoint persisted to the
 	// state store.
 	KindCheckpointSaved
+	// KindFrameQuarantined is a malformed frame (wrong dimensions,
+	// non-finite pixels) rejected by the admission gate before it could
+	// touch the classifier or the conformal martingale.
+	KindFrameQuarantined
+	// KindWorkerRestarted is a shard worker panic caught by the
+	// supervisor and the shard resumed from its last in-memory snapshot.
+	KindWorkerRestarted
+	// KindTrainingFailed is one failed attempt to provision a
+	// post-drift model; the pipeline retries with capped backoff and
+	// degrades to the deployed model when attempts are exhausted.
+	KindTrainingFailed
+	// KindCheckpointFailed is one failed checkpoint write (the previous
+	// generation stays loadable; the scheduler retries with backoff).
+	KindCheckpointFailed
+	// KindHealthChanged is a transition of the degradation state
+	// (ok/degraded/failed).
+	KindHealthChanged
 
 	kindCount
 )
@@ -61,6 +78,11 @@ var kindNames = [kindCount]string{
 	"model_trained",
 	"model_deployed",
 	"checkpoint_saved",
+	"frame_quarantined",
+	"worker_restarted",
+	"training_failed",
+	"checkpoint_failed",
+	"health_changed",
 }
 
 // String returns the event kind's snake_case name.
@@ -110,6 +132,50 @@ func (s State) String() string {
 		return stateNames[s]
 	}
 	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Health is the monitor's degradation state: ok (full drift-adaptive
+// operation), degraded (serving continues on the deployed model but
+// some adaptation machinery — training, checkpointing, a shard — is
+// failing and being retried), failed (a component is permanently down,
+// e.g. a shard hit its crash-loop circuit breaker).
+type Health uint8
+
+// Degradation states, in order of severity.
+const (
+	HealthOK Health = iota
+	HealthDegraded
+	HealthFailed
+
+	healthCount
+)
+
+var healthNames = [healthCount]string{"ok", "degraded", "failed"}
+
+// String returns the state name.
+func (h Health) String() string {
+	if int(h) < len(healthNames) {
+		return healthNames[h]
+	}
+	return fmt.Sprintf("health(%d)", int(h))
+}
+
+// MarshalJSON encodes the health state as its name.
+func (h Health) MarshalJSON() ([]byte, error) { return json.Marshal(h.String()) }
+
+// UnmarshalJSON decodes a health state from its name.
+func (h *Health) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	for i, n := range healthNames {
+		if n == name {
+			*h = Health(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("telemetry: unknown health state %q", name)
 }
 
 // Stage enumerates the instrumented pipeline stages whose latency is
@@ -197,6 +263,16 @@ type Event struct {
 	// encoded size.
 	Path  string `json:"path,omitempty"`
 	Bytes int    `json:"bytes,omitempty"`
+
+	// Fault / degradation fields. Reason is a short cause string
+	// ("bad dimensions", "worker panic: ..."); Attempt is the 1-based
+	// retry attempt that failed; Shard is the 0-based shard index of a
+	// worker restart (omitted in JSON for shard 0); Health is the new
+	// degradation state of a health_changed event.
+	Reason  string `json:"reason,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+	Shard   int    `json:"shard,omitempty"`
+	Health  string `json:"health,omitempty"`
 }
 
 // Config parameterizes a Tracer. The zero value is usable.
@@ -235,6 +311,8 @@ type Tracer struct {
 	meanP       float64
 
 	lastCheckpoint int64 // unix nanos of the last persisted checkpoint
+
+	health Health // current degradation state
 
 	stages [stageCount]Histogram
 }
@@ -407,6 +485,76 @@ func (t *Tracer) CheckpointSaved(path string, bytes int, d time.Duration) {
 	t.stages[StageCheckpoint].Observe(d)
 	t.emit(Event{Kind: KindCheckpointSaved, Path: path, Bytes: bytes}, true)
 	t.mu.Unlock()
+}
+
+// FrameQuarantined records a malformed frame rejected by the admission
+// gate (counted always; ringed so quarantine bursts stay diagnosable).
+func (t *Tracer) FrameQuarantined(reason string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.emit(Event{Kind: KindFrameQuarantined, Reason: reason}, true)
+	t.mu.Unlock()
+}
+
+// WorkerRestarted records the supervisor catching a shard worker panic
+// and restarting the shard from its last in-memory snapshot. attempt is
+// the 1-based restart count since the shard's last healthy stretch.
+func (t *Tracer) WorkerRestarted(shard, attempt int, reason string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.emit(Event{Kind: KindWorkerRestarted, Shard: shard, Attempt: attempt, Reason: reason}, true)
+	t.mu.Unlock()
+}
+
+// TrainingFailed records one failed post-drift training attempt.
+func (t *Tracer) TrainingFailed(model string, attempt int, reason string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.emit(Event{Kind: KindTrainingFailed, Model: model, Attempt: attempt, Reason: reason}, true)
+	t.mu.Unlock()
+}
+
+// CheckpointFailed records one failed checkpoint write attempt.
+func (t *Tracer) CheckpointFailed(attempt int, reason string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.emit(Event{Kind: KindCheckpointFailed, Attempt: attempt, Reason: reason}, true)
+	t.mu.Unlock()
+}
+
+// HealthChanged records a degradation-state transition and updates the
+// state behind the videodrift_degraded gauge. Transitions to the
+// current state are dropped, so callers can report state
+// unconditionally.
+func (t *Tracer) HealthChanged(h Health, reason string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if h != t.health {
+		t.health = h
+		t.emit(Event{Kind: KindHealthChanged, Health: h.String(), Reason: reason}, true)
+	}
+	t.mu.Unlock()
+}
+
+// Health returns the tracer's current degradation state (HealthOK for a
+// nil tracer).
+func (t *Tracer) Health() Health {
+	if t == nil {
+		return HealthOK
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.health
 }
 
 // ObserveStage folds one stage latency into that stage's histogram.

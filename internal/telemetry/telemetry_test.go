@@ -194,6 +194,14 @@ func TestNilTracerIsSafe(t *testing.T) {
 	tr.ModelTrained("m", 100)
 	tr.ModelDeployed("m")
 	tr.ObserveStage(StageFeaturize, time.Microsecond)
+	tr.FrameQuarantined("bad dimensions")
+	tr.WorkerRestarted(2, 1, "worker panic")
+	tr.TrainingFailed("m", 1, "injected")
+	tr.CheckpointFailed(1, "injected")
+	tr.HealthChanged(HealthDegraded, "training failing")
+	if h := tr.Health(); h != HealthOK {
+		t.Errorf("nil tracer health = %v, want ok", h)
+	}
 	if evs := tr.Events(); evs != nil {
 		t.Errorf("nil tracer returned events: %v", evs)
 	}
@@ -248,6 +256,21 @@ videodrift_model_deployments_total 1
 # HELP videodrift_checkpoints_total Monitor checkpoints persisted to the state store.
 # TYPE videodrift_checkpoints_total counter
 videodrift_checkpoints_total 0
+# HELP videodrift_quarantined_frames_total Malformed frames rejected by the admission gate.
+# TYPE videodrift_quarantined_frames_total counter
+videodrift_quarantined_frames_total 0
+# HELP videodrift_worker_restarts_total Shard workers restarted by the supervisor after a panic.
+# TYPE videodrift_worker_restarts_total counter
+videodrift_worker_restarts_total 0
+# HELP videodrift_training_failures_total Failed post-drift training attempts.
+# TYPE videodrift_training_failures_total counter
+videodrift_training_failures_total 0
+# HELP videodrift_checkpoint_failures_total Failed checkpoint write attempts.
+# TYPE videodrift_checkpoint_failures_total counter
+videodrift_checkpoint_failures_total 0
+# HELP videodrift_degraded Degradation state (0 ok, 1 degraded, 2 failed).
+# TYPE videodrift_degraded gauge
+videodrift_degraded 0
 # HELP videodrift_martingale_value Current CUSUM martingale value S_l.
 # TYPE videodrift_martingale_value gauge
 videodrift_martingale_value 8
@@ -375,5 +398,98 @@ func TestCheckpointSaved(t *testing.T) {
 	if len(evs) != 1 || evs[0].Kind != KindCheckpointSaved ||
 		evs[0].Path != "/state/checkpoint-00000001.vdc" || evs[0].Bytes != 12345 {
 		t.Errorf("ringed event = %+v", evs)
+	}
+}
+
+// TestFaultTelemetry covers the fault/degradation surface: counters,
+// ringed event fields, health-transition dedup, and the Prometheus
+// families the chaos suite and /healthz rely on.
+func TestFaultTelemetry(t *testing.T) {
+	tr := New(Config{RingSize: 16})
+	tr.FrameQuarantined("bad dimensions: got 8 pixels, want 256")
+	tr.FrameQuarantined("non-finite pixel")
+	tr.WorkerRestarted(3, 1, "worker panic: injected")
+	tr.TrainingFailed("novel-1", 2, "injected training fault")
+	tr.CheckpointFailed(1, "injected write failure")
+	tr.HealthChanged(HealthDegraded, "training failing")
+	tr.HealthChanged(HealthDegraded, "still failing") // duplicate: dropped
+	tr.HealthChanged(HealthOK, "recovered")
+
+	s := tr.Snapshot()
+	if s.Quarantined != 2 || s.WorkerRestarts != 1 || s.TrainingFailures != 1 || s.CheckpointFailures != 1 {
+		t.Errorf("fault counters wrong: %+v", s)
+	}
+	if s.Health != HealthOK {
+		t.Errorf("Health = %v, want ok", s.Health)
+	}
+	if tr.Health() != HealthOK {
+		t.Errorf("Tracer.Health = %v, want ok", tr.Health())
+	}
+
+	evs := tr.Events()
+	var healthEvents []Event
+	var restart *Event
+	for i, e := range evs {
+		switch e.Kind {
+		case KindHealthChanged:
+			healthEvents = append(healthEvents, e)
+		case KindWorkerRestarted:
+			restart = &evs[i]
+		}
+	}
+	if len(healthEvents) != 2 {
+		t.Fatalf("health transitions = %d, want 2 (duplicate dropped): %+v", len(healthEvents), healthEvents)
+	}
+	if healthEvents[0].Health != "degraded" || healthEvents[1].Health != "ok" {
+		t.Errorf("health transition sequence wrong: %+v", healthEvents)
+	}
+	if restart == nil || restart.Shard != 3 || restart.Attempt != 1 || restart.Reason != "worker panic: injected" {
+		t.Errorf("restart event = %+v", restart)
+	}
+
+	var b strings.Builder
+	if err := s.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"videodrift_quarantined_frames_total 2\n",
+		"videodrift_worker_restarts_total 1\n",
+		"videodrift_training_failures_total 1\n",
+		"videodrift_checkpoint_failures_total 1\n",
+		"videodrift_degraded 0\n",
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("Prometheus output missing %q:\n%s", want, b.String())
+		}
+	}
+
+	tr.HealthChanged(HealthFailed, "crash loop")
+	var b2 strings.Builder
+	if err := tr.WritePrometheusTo(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b2.String(), "videodrift_degraded 2\n") {
+		t.Errorf("degraded gauge did not follow failure:\n%s", b2.String())
+	}
+}
+
+// TestHealthJSONRoundTrip locks the Health JSON encoding.
+func TestHealthJSONRoundTrip(t *testing.T) {
+	for h := Health(0); h < healthCount; h++ {
+		raw, err := json.Marshal(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Health
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != h {
+			t.Errorf("health %v round-tripped to %v", h, back)
+		}
+	}
+	var bad Health
+	if err := json.Unmarshal([]byte(`"wedged"`), &bad); err == nil {
+		t.Error("unknown health name decoded without error")
 	}
 }

@@ -2,13 +2,21 @@ package videodrift
 
 import (
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"videodrift/internal/core"
+	"videodrift/internal/faults"
 	"videodrift/internal/parallel"
 )
 
+// DefaultMaxRestarts is the crash-loop budget: how many consecutive
+// panic-restarts the supervisor grants one shard on a single frame
+// before its circuit breaker trips and the shard is declared failed.
+const DefaultMaxRestarts = 3
+
 // ShardedOptions configures a ShardedMonitor: the per-shard monitor
-// options plus the fan-out shape.
+// options plus the fan-out shape and the supervisor's fault policy.
 type ShardedOptions struct {
 	Options
 	// Shards is the number of independent streams (camera feeds) driven
@@ -24,6 +32,24 @@ type ShardedOptions struct {
 	// Options.Tracer — which is safe for concurrent use — is shared by
 	// every shard, or tracing is off if that is nil too.
 	Tracers []*Tracer
+	// Faults optionally attaches a deterministic fault injector (chaos
+	// testing): its worker faults fire before each shard's Process call
+	// and its per-shard training hooks are wired into every pipeline.
+	// Frame-level corruption is applied by the test harness via
+	// faults.Injector.Apply before frames reach ProcessBatch.
+	Faults *faults.Injector
+	// MaxRestarts bounds consecutive panic-restarts of one shard worker
+	// on the same frame before the crash-loop breaker trips (<= 0 means
+	// DefaultMaxRestarts). A successful frame resets the count.
+	MaxRestarts int
+	// StallTimeout is how long a worker may stay on one in-flight frame
+	// before Health reports the shard stalled. Zero disables the stall
+	// watchdog.
+	StallTimeout time.Duration
+	// Clock is the stall watchdog's time source (nil means time.Now).
+	// Injectable so chaos tests drive stall detection deterministically;
+	// it never influences frame processing or drift decisions.
+	Clock func() time.Time
 }
 
 // ShardedMonitor drives N independent video streams over one shared set
@@ -35,9 +61,81 @@ type ShardedOptions struct {
 // share the read-only expensive state — reference feature matrices,
 // calibration scores, classifier weights — so memory and provisioning
 // cost stay O(models), not O(models × shards).
+//
+// ProcessBatch supervises its shard workers: a panic inside Process is
+// recovered, the shard is restored from its last per-frame snapshot and
+// the same frame is re-fed, so a transient crash is invisible in the
+// shard's event stream. A crash loop (more than MaxRestarts consecutive
+// panics on one frame) trips a circuit breaker: the shard is declared
+// failed and later frames for it are dropped and counted, while the
+// remaining shards keep serving.
 type ShardedMonitor struct {
-	shards []*Monitor
-	pool   *parallel.Pool
+	shards  []*Monitor
+	states  []*shardState
+	pool    *parallel.Pool
+	labeler Labeler
+
+	faults       *faults.Injector
+	maxRestarts  int
+	stallTimeout time.Duration
+	clock        func() time.Time
+}
+
+// shardState is the supervisor's bookkeeping for one shard. The atomic
+// fields are read by Health from other goroutines while a batch runs;
+// the rest is touched only by the shard's worker slot inside
+// ProcessBatch (at most one goroutine per shard at a time).
+type shardState struct {
+	opts    Options // per-shard options (seed-shifted, tracer and fault hooks wired)
+	fed     int     // per-shard stream position (frames attempted)
+	streak  int     // consecutive restarts on the current frame
+	snap    core.PipelineSnapshot
+	entries []*core.ModelEntry
+
+	restarts  atomic.Int64 // total worker restarts
+	dropped   atomic.Int64 // frames discarded after the breaker tripped
+	failed    atomic.Bool  // crash-loop breaker tripped
+	busySince atomic.Int64 // unix-nanos the in-flight frame started; 0 when idle
+}
+
+// save records the shard's post-frame state: the pipeline snapshot plus
+// the registry's entry list (entries are immutable once provisioned, so
+// sharing the pointers is safe).
+func (st *shardState) save(m *Monitor) {
+	st.snap = m.pipe.Snapshot()
+	st.entries = append([]*core.ModelEntry(nil), m.pipe.Registry().Entries()...)
+}
+
+// ShardHealth is the supervisor's live view of one shard.
+type ShardHealth struct {
+	// State is the worst of the shard's pipeline health (training
+	// retries, degraded serving) and the supervisor's view (breaker
+	// tripped → HealthFailed, wedged → at least HealthDegraded).
+	State Health
+	// Stalled reports a frame in flight longer than StallTimeout.
+	Stalled bool
+	// Restarts is the total number of supervised worker restarts.
+	Restarts int
+	// DroppedFrames counts frames discarded after the breaker tripped.
+	DroppedFrames int
+}
+
+// ShardedHealth aggregates shard health for readiness checks.
+type ShardedHealth struct {
+	// State is the worst state across shards.
+	State Health
+	// Stalled reports whether any shard is currently wedged.
+	Stalled bool
+	// Shards holds the per-shard detail, indexed by shard.
+	Shards []ShardHealth
+}
+
+// Serving reports whether the fleet should keep receiving traffic:
+// false once any shard has failed or is wedged past the stall timeout.
+// Degraded-but-serving shards (training retries after a drift) do not
+// clear it — the deployed model still answers queries.
+func (h ShardedHealth) Serving() bool {
+	return h.State != HealthFailed && !h.Stalled
 }
 
 // NewShardedMonitor builds one monitor per shard over the shared models.
@@ -51,24 +149,56 @@ func NewShardedMonitor(models []*Model, labeler Labeler, opts ShardedOptions) *S
 	if opts.Tracers != nil && len(opts.Tracers) < opts.Shards {
 		panic(fmt.Sprintf("videodrift: %d tracers for %d shards", len(opts.Tracers), opts.Shards))
 	}
-	sm := &ShardedMonitor{
-		shards: make([]*Monitor, opts.Shards),
-		pool:   parallel.New(opts.Workers),
-	}
+	sm := newSharded(opts.Shards, labeler, opts)
 	// Warm the shared feature matrices once, outside the fan-out, so no
 	// shard pays the flatten on its first frame.
 	for _, m := range models {
 		m.FeatMatrix()
 	}
 	for i := range sm.shards {
-		shardOpts := opts.Options
+		shardOpts := sm.shardOptions(i, opts)
 		shardOpts.Pipeline.Seed += int64(i)
-		if opts.Tracers != nil {
-			shardOpts.Tracer = opts.Tracers[i]
-		}
 		sm.shards[i] = NewMonitor(models, labeler, shardOpts)
+		st := &shardState{opts: shardOpts}
+		st.save(sm.shards[i]) // pristine snapshot: a frame-0 panic restores to it
+		sm.states[i] = st
 	}
 	return sm
+}
+
+// newSharded allocates the supervisor shell shared by NewShardedMonitor
+// and ResumeSharded.
+func newSharded(n int, labeler Labeler, opts ShardedOptions) *ShardedMonitor {
+	sm := &ShardedMonitor{
+		shards:       make([]*Monitor, n),
+		states:       make([]*shardState, n),
+		pool:         parallel.New(opts.Workers),
+		labeler:      labeler,
+		faults:       opts.Faults,
+		maxRestarts:  opts.MaxRestarts,
+		stallTimeout: opts.StallTimeout,
+		clock:        opts.Clock,
+	}
+	if sm.maxRestarts <= 0 {
+		sm.maxRestarts = DefaultMaxRestarts
+	}
+	if sm.clock == nil {
+		sm.clock = time.Now
+	}
+	return sm
+}
+
+// shardOptions derives shard i's monitor options: the per-shard tracer
+// and the injector's per-shard training-fault hook.
+func (sm *ShardedMonitor) shardOptions(i int, opts ShardedOptions) Options {
+	shardOpts := opts.Options
+	if opts.Tracers != nil {
+		shardOpts.Tracer = opts.Tracers[i]
+	}
+	if opts.Faults != nil {
+		shardOpts.Pipeline.TrainFault = opts.Faults.TrainFault(i)
+	}
+	return shardOpts
 }
 
 // Shards returns the number of streams the monitor drives.
@@ -76,22 +206,133 @@ func (sm *ShardedMonitor) Shards() int { return len(sm.shards) }
 
 // Shard returns the monitor driving stream i — use it for per-shard
 // queries (Current, Models, Telemetry). The returned Monitor must not be
-// fed frames concurrently with ProcessBatch.
+// fed frames concurrently with ProcessBatch; feeding it directly also
+// bypasses the supervisor (no fault injection, panic recovery or
+// snapshotting).
 func (sm *ShardedMonitor) Shard(i int) *Monitor { return sm.shards[i] }
 
 // ProcessBatch runs one frame per shard concurrently: frames[i] goes to
 // shard i, and the returned events line up index-for-index. len(frames)
 // must equal Shards. The fan-out is bounded by Workers; each shard's
-// event stream is identical to feeding its Monitor serially.
+// event stream is identical to feeding its Monitor serially. A failed
+// shard (breaker tripped) yields zero Events and counts the frames it
+// drops in Health().Shards[i].DroppedFrames.
 func (sm *ShardedMonitor) ProcessBatch(frames []Frame) []Event {
 	if len(frames) != len(sm.shards) {
 		panic(fmt.Sprintf("videodrift: ProcessBatch with %d frames for %d shards", len(frames), len(sm.shards)))
 	}
 	events := make([]Event, len(frames))
 	sm.pool.ForEach(len(frames), func(i int) {
-		events[i] = sm.shards[i].Process(frames[i])
+		events[i] = sm.processShard(i, frames[i])
 	})
 	return events
+}
+
+// processShard feeds one frame to shard i under supervision: injected
+// worker faults fire first, a panic is recovered and the shard restored
+// from its last snapshot (re-feeding the same frame), and a crash loop
+// trips the breaker.
+func (sm *ShardedMonitor) processShard(i int, f Frame) Event {
+	st := sm.states[i]
+	frame := st.fed
+	st.fed++
+	if st.failed.Load() {
+		st.dropped.Add(1)
+		return Event{}
+	}
+	st.busySince.Store(sm.clock().UnixNano())
+	defer st.busySince.Store(0)
+	for {
+		ev, panicked, reason := sm.attempt(i, frame, f)
+		if !panicked {
+			st.streak = 0
+			st.save(sm.shards[i])
+			return ev
+		}
+		tr := sm.shards[i].Telemetry()
+		st.streak++
+		if st.streak > sm.maxRestarts {
+			st.failed.Store(true)
+			st.dropped.Add(1)
+			tr.HealthChanged(HealthFailed,
+				fmt.Sprintf("shard %d crash loop: %d consecutive panics (%s)", i, st.streak, reason))
+			return Event{}
+		}
+		st.restarts.Add(1)
+		tr.WorkerRestarted(i, st.streak, reason)
+		if err := sm.restore(i); err != nil {
+			st.failed.Store(true)
+			st.dropped.Add(1)
+			tr.HealthChanged(HealthFailed, fmt.Sprintf("shard %d restore failed: %v", i, err))
+			return Event{}
+		}
+	}
+}
+
+// attempt runs one supervised Process call, converting any panic —
+// injected or real — into a recoverable verdict.
+func (sm *ShardedMonitor) attempt(shard, frame int, f Frame) (ev Event, panicked bool, reason string) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			reason = fmt.Sprint(r)
+		}
+	}()
+	sm.faults.BeforeProcess(shard, frame)
+	ev = sm.shards[shard].Process(f)
+	return ev, false, ""
+}
+
+// restore rebuilds shard i's pipeline from its last snapshot, exactly as
+// a checkpoint resume would: same registry entries, same configuration,
+// bit-identical runtime state. The Monitor pointer is preserved so
+// Shard(i) handles stay valid across restarts.
+func (sm *ShardedMonitor) restore(i int) error {
+	st := sm.states[i]
+	cfg := st.opts.Pipeline
+	cfg.Provision = st.opts.Provision
+	if st.opts.Tracer != nil {
+		cfg.Tracer = st.opts.Tracer
+	}
+	reg := core.NewRegistry(append([]*core.ModelEntry(nil), st.entries...)...)
+	pipe, err := core.RestorePipeline(reg, sm.labeler, cfg, st.snap)
+	if err != nil {
+		return err
+	}
+	sm.shards[i].pipe = pipe
+	return nil
+}
+
+// Health reports the supervisor's live view of every shard: pipeline
+// degradation (training retries), tripped breakers, stall-watchdog
+// verdicts and drop/restart counts. Safe to call from other goroutines
+// (e.g. an HTTP health handler) while ProcessBatch runs.
+func (sm *ShardedMonitor) Health() ShardedHealth {
+	now := sm.clock()
+	h := ShardedHealth{Shards: make([]ShardHealth, len(sm.shards))}
+	for i, st := range sm.states {
+		sh := ShardHealth{
+			State:         sm.shards[i].Health(),
+			Restarts:      int(st.restarts.Load()),
+			DroppedFrames: int(st.dropped.Load()),
+		}
+		if st.failed.Load() {
+			sh.State = HealthFailed
+		}
+		if busy := st.busySince.Load(); busy != 0 && sm.stallTimeout > 0 &&
+			now.Sub(time.Unix(0, busy)) > sm.stallTimeout {
+			sh.Stalled = true
+			if sh.State == HealthOK {
+				sh.State = HealthDegraded
+			}
+		}
+		h.Shards[i] = sh
+		if sh.State > h.State {
+			h.State = sh.State
+		}
+		h.Stalled = h.Stalled || sh.Stalled
+	}
+	return h
 }
 
 // ShardStats returns shard i's metrics.
@@ -109,6 +350,8 @@ func (sm *ShardedMonitor) Stats() Metrics {
 		total.ModelsTrained += s.ModelsTrained
 		total.SelectingFrames += s.SelectingFrames
 		total.TrainingFrames += s.TrainingFrames
+		total.QuarantinedFrames += s.QuarantinedFrames
+		total.TrainingFailures += s.TrainingFailures
 	}
 	return total
 }

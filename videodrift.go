@@ -104,6 +104,20 @@ type TelemetrySnapshot = telemetry.Snapshot
 // NewTracer builds a telemetry tracer to set as Options.Tracer.
 func NewTracer(cfg TracerConfig) *Tracer { return telemetry.New(cfg) }
 
+// Health is a monitor's degradation state: HealthOK (normal operation),
+// HealthDegraded (serving continues on the deployed model while
+// post-drift training retries with backoff, or a worker is wedged) or
+// HealthFailed (a shard's crash-loop breaker tripped; its frames are
+// dropped).
+type Health = telemetry.Health
+
+// The degradation states, ordered by severity.
+const (
+	HealthOK       = telemetry.HealthOK
+	HealthDegraded = telemetry.HealthDegraded
+	HealthFailed   = telemetry.HealthFailed
+)
+
 // Options bundles the tunables of provisioning and monitoring. The zero
 // value is not usable; start from Defaults.
 type Options struct {
@@ -161,6 +175,12 @@ func (m *Monitor) Models() []string { return m.pipe.Registry().Names() }
 
 // Stats summarizes the monitor's activity so far.
 func (m *Monitor) Stats() core.Metrics { return m.pipe.Metrics() }
+
+// Health returns the monitor's degradation state as reported through its
+// tracer: HealthDegraded while post-drift training is retrying or the
+// pipeline is serving without a replacement model, HealthOK otherwise.
+// Always HealthOK when tracing is off.
+func (m *Monitor) Health() Health { return m.pipe.Tracer().Health() }
 
 // Telemetry returns the monitor's tracer (nil when Options.Tracer was
 // not set). The tracer is safe for concurrent use: snapshot or export it
