@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"videodrift/internal/core"
+	"videodrift/internal/forensics"
 	"videodrift/internal/store"
 )
 
@@ -55,7 +56,12 @@ func (m *Monitor) Checkpoint() *Checkpoint {
 		CreatedUnixNano: time.Now().UnixNano(),
 		Frames:          int64(m.pipe.Metrics().Frames),
 		Entries:         entries,
-		Shards:          []store.ShardState{{Registry: refs, Pipeline: m.pipe.Snapshot()}},
+		Shards: []store.ShardState{{
+			Registry:    refs,
+			Pipeline:    m.pipe.Snapshot(),
+			Forensics:   m.rec.State(),
+			EventCounts: m.pipe.Tracer().KindCounts(),
+		}},
 	}
 }
 
@@ -93,7 +99,22 @@ func resumeShard(cp *Checkpoint, i int, labeler Labeler, opts Options) (*Monitor
 	if err != nil {
 		return nil, err
 	}
-	return &Monitor{pipe: pipe}, nil
+	m := &Monitor{pipe: pipe}
+	// Forensics resumes from the checkpointed recorder when one was
+	// persisted (so replayable pre-rolls survive the restart); a
+	// checkpoint without one starts a fresh recorder if the resuming
+	// options ask for forensics.
+	switch {
+	case sh.Forensics.Enabled:
+		rec, err := forensics.Restore(sh.Forensics, cfg.Tracer)
+		if err != nil {
+			return nil, err
+		}
+		m.rec = rec
+	case opts.Forensics.Enabled:
+		m.rec = forensics.NewRecorder(opts.Forensics, cfg.Tracer, pipe)
+	}
+	return m, nil
 }
 
 // Checkpoint captures every shard's state plus the shared model table.
@@ -118,7 +139,12 @@ func (sm *ShardedMonitor) Checkpoint() *Checkpoint {
 		if f := int64(m.pipe.Metrics().Frames); f > cp.Frames {
 			cp.Frames = f
 		}
-		cp.Shards = append(cp.Shards, store.ShardState{Registry: refs, Pipeline: m.pipe.Snapshot()})
+		cp.Shards = append(cp.Shards, store.ShardState{
+			Registry:    refs,
+			Pipeline:    m.pipe.Snapshot(),
+			Forensics:   m.rec.State(),
+			EventCounts: m.pipe.Tracer().KindCounts(),
+		})
 	}
 	return cp
 }

@@ -73,6 +73,9 @@ func TestRestartDeterminism(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			opts := Defaults(facadeDim, facadeClasses)
 			opts.Pipeline.Selector = tc.selector
+			// Forensics rides through the same checkpoints; the restart must
+			// preserve its declarations and pre-roll bit-identically too.
+			opts.Forensics = ForensicsConfig{Enabled: true}
 			sopts := ShardedOptions{Options: opts, Shards: tc.shards, Workers: 2}
 
 			streams := make([][]Frame, tc.shards)
@@ -121,6 +124,19 @@ func TestRestartDeterminism(t *testing.T) {
 				}
 				if a, b := resumed.ShardStats(s), ref.ShardStats(s); a != b {
 					t.Errorf("shard %d: resumed stats %+v, uninterrupted %+v", s, a, b)
+				}
+				// The restored recorder must hold the same declarations the
+				// uninterrupted run captured (gob may turn empty slices into
+				// nil, so compare a bit-exact summary, not DeepEqual).
+				da := resumed.Shard(s).Forensics().Declarations()
+				db := ref.Shard(s).Forensics().Declarations()
+				if len(da) != len(db) {
+					t.Fatalf("shard %d: resumed retains %d declarations, uninterrupted %d", s, len(da), len(db))
+				}
+				for k := range db {
+					if a, b := declSummary(da[k]), declSummary(db[k]); a != b {
+						t.Errorf("shard %d declaration %d:\nresumed       %s\nuninterrupted %s", s, k, a, b)
+					}
 				}
 			}
 			// The interesting runs are the ones where something happened.

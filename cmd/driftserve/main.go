@@ -16,8 +16,15 @@
 //	           per-stage latency quantiles); ?shard=k selects a shard
 //	/snapshot  the same state as one indented JSON document (?shard=k)
 //	/events    the retained structured events (drifts, selections,
-//	           trainings, deployments), optionally ?kind=drift_declared
-//	           and/or ?shard=k
+//	           trainings, deployments), optionally ?kind=drift_declared,
+//	           ?since=<seq> (events with sequence numbers strictly
+//	           greater, for incremental polling) and/or ?shard=k
+//	/drift/    the drift declarations the forensics recorder retains
+//	           (?shard=k): ID, frame, evidence and attribution
+//	/drift/<id>  the full forensic report of one declaration — evidence,
+//	           attribution ranking, and the bit-identically replayed
+//	           martingale trajectory plus selection outcome; 404 when
+//	           the ID is unknown or evicted
 //	/healthz   liveness plus degradation state: frames-processed
 //	           progress, shard count, per-shard health (quarantines,
 //	           worker restarts, dropped frames) and checkpoint
@@ -74,6 +81,7 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -110,6 +118,7 @@ func main() {
 	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "background checkpoint interval (needs -state-dir)")
 	chaosSeed := flag.Int64("chaos", 0, "replay a seeded fault schedule: pixel corruption, worker panics, training failures (0 = off)")
 	stallTimeout := flag.Duration("stall-timeout", 10*time.Second, "how long a shard may sit on one frame before /healthz reports it stalled")
+	forensicsOn := flag.Bool("forensics", true, "record drift declarations with replayable pre-rolls for /drift and checkpoints")
 	flag.Parse()
 
 	var ds *dataset.Dataset
@@ -205,6 +214,7 @@ func main() {
 			// epochs, smaller ensemble) rather than the registry defaults.
 			Provision: pcfg.Provision,
 			Pipeline:  pcfg,
+			Forensics: videodrift.ForensicsConfig{Enabled: *forensicsOn},
 		},
 		Shards:       *shards,
 		Workers:      *workers,
@@ -436,11 +446,69 @@ func main() {
 			}
 			events = filtered
 		}
+		if sinceQ := r.URL.Query().Get("since"); sinceQ != "" {
+			since, err := strconv.ParseUint(sinceQ, 10, 64)
+			if err != nil {
+				http.Error(w, "since must be an event sequence number", http.StatusBadRequest)
+				return
+			}
+			// Events ring oldest-first with monotonic Seq; serve only what
+			// the poller has not seen yet.
+			filtered := events[:0:0]
+			for _, e := range events {
+				if e.Seq > since {
+					filtered = append(filtered, e)
+				}
+			}
+			events = filtered
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(map[string]interface{}{"events": events}); err != nil {
 			log.Printf("/events: %v", err)
+		}
+	})
+	// shardMonitor resolves ?shard=k to the shard's Monitor (default 0)
+	// for the forensic endpoints; reads on a Monitor's recorder and
+	// registry are safe while batches run.
+	shardMonitor := func(w http.ResponseWriter, r *http.Request) *videodrift.Monitor {
+		q := r.URL.Query().Get("shard")
+		if q == "" {
+			return mon.Shard(0)
+		}
+		k, err := strconv.Atoi(q)
+		if err != nil || k < 0 || k >= mon.Shards() {
+			http.Error(w, fmt.Sprintf("shard must be in [0,%d)", mon.Shards()), http.StatusBadRequest)
+			return nil
+		}
+		return mon.Shard(k)
+	}
+	mux.HandleFunc("/drift/", func(w http.ResponseWriter, r *http.Request) {
+		m := shardMonitor(w, r)
+		if m == nil {
+			return
+		}
+		id := strings.TrimPrefix(r.URL.Path, "/drift/")
+		if id == "" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(map[string]interface{}{"declarations": m.Forensics().Declarations()}); err != nil {
+				log.Printf("/drift/: %v", err)
+			}
+			return
+		}
+		rep, err := m.Explain(id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Printf("/drift/%s: %v", id, err)
 		}
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -503,7 +571,7 @@ func main() {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintf(w, "driftserve: %s stream ×%d shards, %s selector\nendpoints: /metrics /snapshot /events /healthz /debug/pprof/ (?shard=k)\n",
+		fmt.Fprintf(w, "driftserve: %s stream ×%d shards, %s selector\nendpoints: /metrics /snapshot /events /drift/ /drift/<id> /healthz /debug/pprof/ (?shard=k)\n",
 			ds.Name, len(tracers), sel)
 	})
 

@@ -6,12 +6,22 @@
 //
 //	drifttool [-dataset bdd|detrac|tokyo|slow] [-scale 0.02] [-selector msbo|msbi] [-v]
 //	drifttool inspect <checkpoint>
+//	drifttool [-drift id] [-shard n] explain <checkpoint>
 //	drifttool lint [packages]
 //
 // The inspect subcommand describes a checkpoint file written by
 // driftserve (or any videodrift.CheckpointStore): store format version,
-// per-model inventory with sizes and checksums, and each shard's stream
-// position. Damaged files report typed errors instead of partial output.
+// per-model inventory with sizes and checksums, each shard's stream
+// position, its per-kind telemetry event counts, and its last retained
+// drift declaration. Damaged files report typed errors instead of
+// partial output.
+//
+// The explain subcommand renders the forensic report of the drift
+// declarations a checkpoint retains (written with forensics enabled):
+// the declaration evidence, the ranked per-feature attribution, the
+// bit-identical replayed martingale trajectory, and how the post-drift
+// selection resolved. -drift narrows to one declaration ID, -shard to
+// one shard.
 //
 // The lint subcommand runs the repo's driftlint analyzer suite (the
 // same multichecker cmd/driftlint wraps) over the given packages,
@@ -30,6 +40,7 @@ import (
 	"videodrift/internal/core"
 	"videodrift/internal/dataset"
 	"videodrift/internal/experiments"
+	"videodrift/internal/forensics"
 	"videodrift/internal/query"
 	"videodrift/internal/store"
 )
@@ -40,6 +51,8 @@ func main() {
 	selector := flag.String("selector", "msbo", "model selector: msbo or msbi")
 	train := flag.Int("train", 300, "training frames per provisioned condition")
 	verbose := flag.Bool("v", false, "log per-sequence accuracy while streaming")
+	driftID := flag.String("drift", "", "explain: narrow to one drift declaration ID")
+	shard := flag.Int("shard", -1, "explain: narrow to one shard (-1 = all)")
 	flag.Parse()
 
 	if flag.Arg(0) == "lint" {
@@ -60,8 +73,15 @@ func main() {
 		d.WriteText(os.Stdout)
 		return
 	}
+	if flag.Arg(0) == "explain" {
+		if flag.NArg() != 2 {
+			log.Fatal("usage: drifttool [-drift id] [-shard n] explain <checkpoint>")
+		}
+		explain(flag.Arg(1), *driftID, *shard)
+		return
+	}
 	if flag.NArg() > 0 {
-		log.Fatalf("unknown subcommand %q (subcommands: inspect, lint)", flag.Arg(0))
+		log.Fatalf("unknown subcommand %q (subcommands: inspect, explain, lint)", flag.Arg(0))
 	}
 
 	var ds *dataset.Dataset
@@ -133,5 +153,51 @@ func main() {
 	fmt.Printf("registry: %v\n", pipe.Registry().Names())
 	if scored > 0 {
 		fmt.Printf("sampled count-query accuracy: %.3f (%d frames scored)\n", float64(correct)/float64(scored), scored)
+	}
+}
+
+// explain loads a checkpoint and renders the forensic report of its
+// retained drift declarations. Replay needs the original run's
+// monitoring parameters; every bundled driver (driftserve, drifttool,
+// the facade's Defaults) runs core.DefaultPipelineConfig, so the config
+// is rebuilt from the checkpoint's frame geometry.
+func explain(path, driftID string, shard int) {
+	cp, err := store.LoadPath(path)
+	if err != nil {
+		log.Fatalf("explain %s: %v", path, err)
+	}
+	matched := 0
+	for si, sh := range cp.Shards {
+		if shard >= 0 && si != shard {
+			continue
+		}
+		if !sh.Forensics.Enabled {
+			fmt.Printf("shard %d: checkpoint holds no forensics state (run with forensics enabled)\n", si)
+			continue
+		}
+		decls := sh.Forensics.Declarations
+		fmt.Printf("shard %d: %d drift declaration(s) retained\n", si, len(decls))
+		if len(decls) == 0 {
+			continue
+		}
+		ents := make([]*core.ModelEntry, len(sh.Registry))
+		for j, ref := range sh.Registry {
+			ents[j] = cp.Entries[ref]
+		}
+		cfg := core.DefaultPipelineConfig(ents[0].W*ents[0].H, 2)
+		for _, d := range decls {
+			if driftID != "" && d.ID != driftID {
+				continue
+			}
+			matched++
+			rep, err := forensics.BuildReport(ents, cfg, d)
+			if err != nil {
+				log.Fatalf("replay %s: %v", d.ID, err)
+			}
+			rep.WriteText(os.Stdout)
+		}
+	}
+	if driftID != "" && matched == 0 {
+		log.Fatalf("no retained declaration %q in %s", driftID, path)
 	}
 }

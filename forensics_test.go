@@ -1,0 +1,171 @@
+package videodrift
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"videodrift/internal/telemetry"
+)
+
+// declSummary renders the bit-exact identity of a declaration — float
+// fields as raw bits, slices by length — so restored declarations can be
+// compared against live ones without tripping over gob's empty-slice /
+// nil normalization.
+func declSummary(d DriftDeclaration) string {
+	attrBits := uint64(0)
+	if len(d.Attribution) > 0 {
+		attrBits = math.Float64bits(d.Attribution[0].JS)
+	}
+	return fmt.Sprintf("%s frame=%d model=%s lag=%d sampled=%d mart=%016x wd=%016x meanp=%016x base=%d frames=%d attr=%d attr0js=%016x resolved=%v resframe=%d resmodel=%s trained=%v abandoned=%v cands=%d",
+		d.ID, d.Frame, d.Model, d.Lag, d.Sampled,
+		math.Float64bits(d.Martingale), math.Float64bits(d.WindowDelta), math.Float64bits(d.MeanP),
+		d.BaseFrame, len(d.Frames), len(d.Attribution), attrBits,
+		d.Resolved, d.Resolution.Frame, d.Resolution.Model, d.Resolution.TrainedNew,
+		d.Resolution.Abandoned, len(d.Resolution.Candidates))
+}
+
+// TestForensicsReplayDeterminism is the forensics subsystem's headline
+// guarantee: replaying a declaration's captured pre-roll through a
+// pipeline restored from its base snapshot re-declares the drift on the
+// same frame, and the replayed trajectory matches the live run's
+// per-frame martingale telemetry bit for bit — for both selectors, at 1
+// and 4 shards.
+func TestForensicsReplayDeterminism(t *testing.T) {
+	models := getCkptModels()
+	const total = 200
+
+	for _, tc := range []struct {
+		name     string
+		selector Selector
+		shards   int
+	}{
+		{"msbi-shards1", MSBI, 1},
+		{"msbi-shards4", MSBI, 4},
+		{"msbo-shards1", MSBO, 1},
+		{"msbo-shards4", MSBO, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := Defaults(facadeDim, facadeClasses)
+			opts.Pipeline.Selector = tc.selector
+			opts.Forensics = ForensicsConfig{Enabled: true}
+			// Per-frame tracing gives the live run's martingale trajectory
+			// to cross-check the replay against.
+			tracers := make([]*Tracer, tc.shards)
+			for i := range tracers {
+				tracers[i] = NewTracer(TracerConfig{RingSize: 8192, PerFrame: true})
+			}
+			sopts := ShardedOptions{Options: opts, Shards: tc.shards, Workers: 2, Tracers: tracers}
+
+			streams := make([][]Frame, tc.shards)
+			for s := range streams {
+				streams[s] = driftStream(total, 60+25*s, int64(900+10*s))
+			}
+			sm := NewShardedMonitor(models, facadeLabeler, sopts)
+			runBatches(sm, streams, 0, total)
+
+			declared := 0
+			for s := 0; s < tc.shards; s++ {
+				m := sm.Shard(s)
+				for _, d := range m.Forensics().Declarations() {
+					declared++
+					if len(d.Attribution) == 0 {
+						t.Errorf("shard %d %s: no attribution captured", s, d.ID)
+					}
+					rep, err := m.Explain(d.ID)
+					if err != nil {
+						t.Fatalf("shard %d Explain(%s): %v", s, d.ID, err)
+					}
+					if rep.Replay.DeclaredFrame != d.Frame {
+						t.Errorf("shard %d %s: replay re-declared at frame %d, live run at %d",
+							s, d.ID, rep.Replay.DeclaredFrame, d.Frame)
+					}
+					if !rep.Replay.Matches {
+						t.Errorf("shard %d %s: replay diverged (martingale %v vs %v, delta %v vs %v)",
+							s, d.ID, rep.Replay.Martingale, d.Martingale, rep.Replay.WindowDelta, d.WindowDelta)
+					}
+					// The replayed trajectory must reproduce the live run's
+					// martingale updates over the pre-roll window bit for bit.
+					want := martingaleTrace(tracers[s], d.BaseFrame, d.Frame)
+					if len(rep.Replay.Points) != len(want) {
+						t.Fatalf("shard %d %s: replay traced %d updates, live run %d",
+							s, d.ID, len(rep.Replay.Points), len(want))
+					}
+					for i, pt := range rep.Replay.Points {
+						w := want[i]
+						if pt.Frame != w.Frame ||
+							math.Float64bits(pt.PValue) != math.Float64bits(w.PValue) ||
+							math.Float64bits(pt.Martingale) != math.Float64bits(w.Martingale) ||
+							math.Float64bits(pt.WindowDelta) != math.Float64bits(w.WindowDelta) {
+							t.Fatalf("shard %d %s update %d: replay {frame %d p %v S %v Δ %v}, live {frame %d p %v S %v Δ %v}",
+								s, d.ID, i, pt.Frame, pt.PValue, pt.Martingale, pt.WindowDelta,
+								w.Frame, w.PValue, w.Martingale, w.WindowDelta)
+						}
+					}
+				}
+				if _, err := m.Explain("drift-99999999"); err == nil {
+					t.Error("Explain accepted an unknown drift ID")
+				}
+			}
+			if declared == 0 {
+				t.Fatal("no declarations captured; the test exercised nothing")
+			}
+		})
+	}
+}
+
+// martingaleTrace extracts the live run's per-frame martingale updates
+// for stream frames in [lo, hi] from a per-frame tracer's event ring.
+func martingaleTrace(tr *Tracer, lo, hi int) []TelemetryEvent {
+	var out []TelemetryEvent
+	for _, e := range tr.Events() {
+		if e.Kind == telemetry.KindMartingaleUpdate && e.Frame >= lo && e.Frame <= hi {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestExplainReportText exercises the drifttool-explain rendering path
+// end to end on a live monitor: declaration evidence, attribution table,
+// replayed trajectory and the selection outcome all appear.
+func TestExplainReportText(t *testing.T) {
+	models := getCkptModels()
+	opts := Defaults(facadeDim, facadeClasses)
+	opts.Pipeline.Selector = MSBI
+	opts.Forensics = ForensicsConfig{Enabled: true}
+
+	m := NewMonitor(models, facadeLabeler, opts)
+	for _, f := range driftStream(200, 70, 1700) {
+		m.Process(f)
+	}
+	decls := m.Forensics().Declarations()
+	if len(decls) == 0 {
+		t.Fatal("stream produced no declarations")
+	}
+	rep, err := m.Explain(decls[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	rep.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		decls[0].ID,
+		"attribution (reference vs recent window",
+		"trajectory (replayed martingale updates)",
+		fmt.Sprintf("re-declared at frame %d", decls[0].Frame),
+		"matches recording: yes, bit-identical",
+		"resolution",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report text missing %q:\n%s", want, out)
+		}
+	}
+	// The declaration's drift ID matches the telemetry event's, so the
+	// two observability surfaces name the same drift identically.
+	if want := telemetry.DriftID(decls[0].Frame); decls[0].ID != want {
+		t.Errorf("declaration ID %q, telemetry DriftID %q", decls[0].ID, want)
+	}
+}

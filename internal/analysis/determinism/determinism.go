@@ -23,6 +23,7 @@ var CriticalPackages = []string{
 	"videodrift/internal/store",
 	"videodrift/internal/parallel",
 	"videodrift/internal/faults",
+	"videodrift/internal/forensics",
 }
 
 // randConstructors are the math/rand package-level functions that build

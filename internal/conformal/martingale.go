@@ -81,6 +81,8 @@ type CUSUM struct {
 	value float64
 	count int
 	ring  []float64 // last `window` values, ring[count % window] overwritten next
+
+	probe Probe // observational update hook, nil when unset
 }
 
 // NewCUSUM builds an additive martingale with the given betting function,
@@ -96,11 +98,26 @@ func NewCUSUM(bet BettingFunc, bound float64, window int) *CUSUM {
 	return c
 }
 
+// Probe observes one martingale update: the p-value folded in, the
+// post-update value S_l and the windowed growth |S_l − S_{l−w}|. Probes
+// are strictly observational — they see state, never change it — which is
+// what lets a forensics replay trace every step of a restored martingale
+// without perturbing its bit-identical trajectory.
+type Probe func(p, value, windowDelta float64)
+
+// SetProbe attaches an update probe (nil detaches). The probe is not
+// part of the martingale's state: State/SetState ignore it, and a
+// restored martingale starts with no probe.
+func (c *CUSUM) SetProbe(fn Probe) { c.probe = fn }
+
 // Update folds one p-value into the martingale and returns the new value.
 func (c *CUSUM) Update(p float64) float64 {
 	c.ring[c.count%c.window] = c.value
 	c.count++
 	c.value = math.Max(0, c.value+c.bet(p))
+	if c.probe != nil {
+		c.probe(p, c.value, c.WindowDelta())
+	}
 	return c.value
 }
 
@@ -170,6 +187,33 @@ func (c *CUSUM) Reset() {
 	for i := range c.ring {
 		c.ring[i] = 0
 	}
+}
+
+// TrajectoryPoint is one step of a captured martingale trajectory.
+type TrajectoryPoint struct {
+	Step        int     `json:"step"` // 1-based observation index (CUSUM.Count at capture)
+	PValue      float64 `json:"p_value"`
+	Value       float64 `json:"martingale"`
+	WindowDelta float64 `json:"window_delta"`
+}
+
+// Trajectory records every update of the martingale it is attached to —
+// the step-by-step evidence trace a forensics replay renders.
+type Trajectory struct {
+	Points []TrajectoryPoint
+}
+
+// Attach wires the trajectory into c's update probe (replacing any
+// existing probe).
+func (t *Trajectory) Attach(c *CUSUM) {
+	c.SetProbe(func(p, value, windowDelta float64) {
+		t.Points = append(t.Points, TrajectoryPoint{
+			Step:        c.Count(),
+			PValue:      p,
+			Value:       value,
+			WindowDelta: windowDelta,
+		})
+	})
 }
 
 // DriftTest is the windowed significance test of Eq. 15.

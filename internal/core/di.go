@@ -51,6 +51,7 @@ type DriftInspector struct {
 	test   conformal.DriftTest
 	rng    *stats.RNG
 	tracer *telemetry.Tracer
+	fstats *FeatWindowStats // reference-vs-recent attribution statistics
 
 	seen        int     // frames offered, including skipped ones
 	sampled     int     // frames actually folded into the martingale
@@ -77,6 +78,7 @@ func NewDriftInspector(entry *ModelEntry, cfg DIConfig, rng *stats.RNG) *DriftIn
 		mart:   conformal.NewCUSUM(conformal.ShiftedOdd(cfg.Kappa), cfg.Kappa/2, cfg.W),
 		test:   conformal.DriftTest{W: cfg.W, R: cfg.R, Mode: cfg.Mode},
 		rng:    rng,
+		fstats: NewFeatWindowStats(entry.SampleFeats),
 	}
 }
 
@@ -118,6 +120,7 @@ func (di *DriftInspector) Observe(pixels tensor.Vector) bool {
 		t0 = tr.Now()
 	}
 	feat := di.fz.Appearance(pixels, di.entry.W, di.entry.H)
+	di.fstats.Observe(feat) // copies; the featurizer reuses its buffer
 	if tr != nil {
 		t1 := tr.Now()
 		tr.ObserveStage(telemetry.StageFeaturize, t1.Sub(t0))
@@ -142,11 +145,23 @@ func (di *DriftInspector) Observe(pixels tensor.Vector) bool {
 		tr.ObserveStage(telemetry.StageMartingale, tr.Now().Sub(t0))
 		tr.MartingaleUpdate(p, di.mart.Value(), di.mart.WindowDelta(), di.MeanP())
 		if fired {
-			tr.DriftDeclared(di.entry.Name, di.seen, di.sampled, di.mart.Value(), di.mart.WindowDelta(), di.MeanP())
+			tr.DriftDeclared(di.entry.Name, di.seen, di.sampled, di.mart.Value(), di.mart.WindowDelta(), di.MeanP(),
+				di.fstats.Attribution())
 		}
 	}
 	return fired
 }
+
+// Attribution returns the ranked per-dimension reference-vs-recent
+// divergences of the inspector's feature statistics (nil before the
+// first sampled frame). It is a pure read: calling it does not perturb
+// the replay-critical state.
+func (di *DriftInspector) Attribution() []telemetry.DimShift { return di.fstats.Attribution() }
+
+// SetProbe attaches an observational probe to the inspector's martingale
+// (see conformal.Probe); forensics replay uses it to trace every update
+// of a restored inspector.
+func (di *DriftInspector) SetProbe(fn conformal.Probe) { di.mart.SetProbe(fn) }
 
 // ObserveFrame is Observe on a vidsim frame.
 func (di *DriftInspector) ObserveFrame(f vidsim.Frame) bool { return di.Observe(f.Pixels) }
@@ -179,9 +194,11 @@ func (di *DriftInspector) MeanP() float64 {
 	return di.pSum / float64(di.sampled)
 }
 
-// Reset clears the martingale (called after a model switch).
+// Reset clears the martingale and the recent feature window (called
+// after a model switch).
 func (di *DriftInspector) Reset() {
 	di.mart.Reset()
+	di.fstats.Reset()
 	di.seen = 0
 	di.sampled = 0
 	di.quarantined = 0
@@ -201,6 +218,9 @@ type DISnapshot struct {
 	Sampled     int
 	Quarantined int
 	PSum        float64
+	// FStats is the attribution accumulator's recent feature window (its
+	// reference half is recomputed from the entry on restore).
+	FStats FeatStatsState
 }
 
 // Snapshot captures the inspector's current state for checkpointing.
@@ -212,6 +232,7 @@ func (di *DriftInspector) Snapshot() DISnapshot {
 		Sampled:     di.sampled,
 		Quarantined: di.quarantined,
 		PSum:        di.pSum,
+		FStats:      di.fstats.State(),
 	}
 }
 
@@ -230,5 +251,6 @@ func RestoreDriftInspector(entry *ModelEntry, cfg DIConfig, snap DISnapshot) (*D
 	di.sampled = snap.Sampled
 	di.quarantined = snap.Quarantined
 	di.pSum = snap.PSum
+	di.fstats.SetState(snap.FStats)
 	return di, nil
 }

@@ -187,6 +187,19 @@ func (p *Pipeline) Registry() *Registry { return p.reg }
 // off).
 func (p *Pipeline) Tracer() *telemetry.Tracer { return p.cfg.Tracer }
 
+// Config returns a copy of the pipeline's configuration (forensics
+// replay rebuilds a pipeline with the same monitoring parameters).
+func (p *Pipeline) Config() PipelineConfig { return p.cfg }
+
+// Monitoring reports whether the pipeline is in its monitoring state
+// (the Drift Inspector watching every frame, as opposed to collecting a
+// post-drift selection or training window).
+func (p *Pipeline) Monitoring() bool { return p.state == stateMonitoring }
+
+// Inspector returns the deployed model's Drift Inspector. It is replaced
+// on every deployment; callers should not retain it across frames.
+func (p *Pipeline) Inspector() *DriftInspector { return p.di }
+
 func (p *Pipeline) deploy(e *ModelEntry) {
 	p.current = e
 	p.di = NewDriftInspector(e, p.cfg.DI, p.rng.Split())

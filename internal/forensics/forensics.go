@@ -1,0 +1,368 @@
+// Package forensics turns drift declarations into explainable records.
+// A Recorder rides alongside a pipeline, keeping a rolling pre-roll of
+// the frames feeding the monitoring state plus a pipeline snapshot from
+// just before that pre-roll. When the Drift Inspector declares a drift,
+// the recorder freezes the pre-roll, the snapshot, and the inspector's
+// evidence (martingale value, windowed growth, mean p-value, ranked
+// per-feature attribution) into a Declaration; Replay can then re-run
+// the captured frames through a restored pipeline and reproduce the
+// declaration bit-identically, step by step — the "time travel" half of
+// drift forensics.
+//
+// All Recorder methods are nil-safe: a nil *Recorder no-ops, so callers
+// keep a single untraced fast path (mirroring telemetry.Tracer).
+package forensics
+
+import (
+	"fmt"
+	"sync"
+
+	"videodrift/internal/core"
+	"videodrift/internal/telemetry"
+	"videodrift/internal/vidsim"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultWindow = 64 // pre-roll frames retained before a declaration
+	DefaultKeep   = 8  // declarations retained, oldest evicted first
+)
+
+// Config sizes a Recorder.
+type Config struct {
+	// Enabled turns forensic recording on. The zero Config (disabled)
+	// makes the facade skip recorder construction entirely.
+	Enabled bool
+	// Window is the pre-roll length in frames: how many frames before a
+	// declaration are captured for replay. 0 means DefaultWindow.
+	Window int
+	// Keep bounds how many declarations are retained. 0 means DefaultKeep.
+	Keep int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = DefaultWindow
+	}
+	if c.Keep <= 0 {
+		c.Keep = DefaultKeep
+	}
+	return c
+}
+
+// Resolution records how a declaration's selection phase ended.
+type Resolution struct {
+	// Frame is the stream frame on which the pipeline returned to
+	// monitoring (model switch or degraded fallback).
+	Frame int `json:"frame"`
+	// Model is the model deployed after the drift ("" when training was
+	// abandoned and the old model kept serving degraded).
+	Model string `json:"model,omitempty"`
+	// TrainedNew reports whether the deployed model was freshly trained
+	// rather than selected from the registry.
+	TrainedNew bool `json:"trained_new,omitempty"`
+	// Abandoned reports the degraded path: training failed terminally and
+	// the pre-drift model kept serving.
+	Abandoned bool `json:"abandoned,omitempty"`
+	// Candidates is the per-candidate outcome of the MSBI/MSBO run that
+	// followed the declaration (empty when the tracer was nil).
+	Candidates []telemetry.Candidate `json:"candidates,omitempty"`
+}
+
+// Declaration is one captured drift declaration: the evidence the
+// inspector fired on, plus everything Replay needs to reproduce it.
+type Declaration struct {
+	// ID is the stable drift identifier (telemetry.DriftID of Frame).
+	ID string `json:"id"`
+	// Frame is the stream frame (0-based, per shard) of the declaration.
+	Frame int `json:"frame"`
+	// Model is the model that was being monitored when the drift fired.
+	Model string `json:"model"`
+
+	// Lag and Sampled are the inspector's frame counters at declaration:
+	// frames observed since deployment (the detection lag upper bound)
+	// and frames actually folded into the martingale.
+	Lag     int `json:"lag"`
+	Sampled int `json:"sampled"`
+	// Martingale, WindowDelta and MeanP are the martingale value S_l, the
+	// windowed growth |S_l − S_{l−W}| that crossed the threshold, and the
+	// mean conformal p-value at declaration.
+	Martingale  float64 `json:"martingale"`
+	WindowDelta float64 `json:"window_delta"`
+	MeanP       float64 `json:"mean_p"`
+	// Attribution ranks the featurizer dimensions by reference-vs-recent
+	// divergence — which features moved, most-moved first.
+	Attribution []telemetry.DimShift `json:"attribution,omitempty"`
+
+	// BaseFrame is the stream frame the replay base snapshot was taken
+	// before; Frames[i] is stream frame BaseFrame+i. Frames ends with the
+	// declaration frame itself.
+	BaseFrame int                   `json:"base_frame"`
+	Base      core.PipelineSnapshot `json:"-"`
+	Frames    []vidsim.Frame        `json:"-"`
+
+	// Resolved reports whether the post-drift selection has concluded;
+	// Resolution is only meaningful when it has.
+	Resolved   bool       `json:"resolved"`
+	Resolution Resolution `json:"resolution,omitzero"`
+}
+
+// Recorder captures drift declarations from one pipeline's frame stream.
+// Its own locking makes reads (Declarations, Get, State) safe against
+// the owning monitor's Record calls, but Record itself must be
+// serialized with the pipeline — the facade calls it inline after
+// Pipeline.Process.
+type Recorder struct {
+	mu     sync.Mutex
+	cfg    Config
+	tracer *telemetry.Tracer
+
+	frame int // next stream frame index (frames seen so far)
+
+	// Pre-roll state, maintained only while the pipeline is monitoring.
+	// ring holds the last ≤2·Window frames; base is the pipeline snapshot
+	// from just before ring[0] (stream frame baseFrame). mid is a
+	// checkpoint taken when the ring crossed Window frames, promoted to
+	// base when the ring is trimmed back to Window — so a declaration
+	// always has between Window and 2·Window pre-roll frames once the
+	// stream has run that long.
+	ring      []vidsim.Frame
+	base      core.PipelineSnapshot
+	baseFrame int
+	mid       core.PipelineSnapshot
+	midFrame  int
+	haveMid   bool
+
+	// pending is true between a declaration and the pipeline's return to
+	// monitoring; pre-roll collection is suspended in between.
+	pending bool
+
+	recs []Declaration
+}
+
+// NewRecorder builds a recorder attached to pipe's current state. The
+// tracer (may be nil) supplies candidate outcomes for resolutions.
+func NewRecorder(cfg Config, tracer *telemetry.Tracer, pipe *core.Pipeline) *Recorder {
+	r := &Recorder{cfg: cfg.withDefaults(), tracer: tracer, frame: pipe.Metrics().Frames}
+	r.resetPreRoll(pipe, r.frame)
+	// A pipeline restored mid-selection has no pre-roll to collect until
+	// it next returns to monitoring.
+	r.pending = !pipe.Monitoring()
+	return r
+}
+
+// Config returns the recorder's (defaulted) configuration.
+func (r *Recorder) Config() Config {
+	if r == nil {
+		return Config{}
+	}
+	return r.cfg
+}
+
+// Record observes one processed frame: the frame itself, the pipeline
+// after processing it, and the outcome. Call it inline after every
+// Pipeline.Process, with the same serialization.
+func (r *Recorder) Record(pipe *core.Pipeline, f vidsim.Frame, out core.Outcome) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	frame := r.frame
+	r.frame++
+
+	if r.pending {
+		// Waiting out selection/training. The frame that returns the
+		// pipeline to monitoring resolves the open declaration — via a
+		// model switch, or degraded (training abandoned) without one.
+		if out.SwitchedTo != "" {
+			r.resolve(frame, out, false)
+		}
+		if pipe.Monitoring() {
+			if out.SwitchedTo == "" {
+				r.resolve(frame, out, true)
+			}
+			r.resetPreRoll(pipe, frame+1)
+			r.pending = false
+		}
+		return
+	}
+
+	r.ring = append(r.ring, f)
+	if out.Drift {
+		r.capture(pipe, frame)
+		r.pending = true
+		return
+	}
+	w := r.cfg.Window
+	if len(r.ring) >= 2*w && r.haveMid {
+		// Trim the oldest Window frames; the mid checkpoint becomes the
+		// new replay base and a fresh mid is taken at the cut.
+		r.ring = append(r.ring[:0], r.ring[w:]...)
+		r.base, r.baseFrame = r.mid, r.midFrame
+		r.mid, r.midFrame = pipe.Snapshot(), frame+1
+	} else if len(r.ring) == w {
+		r.mid, r.midFrame, r.haveMid = pipe.Snapshot(), frame+1, true
+	}
+}
+
+// resetPreRoll restarts pre-roll collection from pipe's current state;
+// nextFrame is the stream index of the next frame the ring will hold.
+func (r *Recorder) resetPreRoll(pipe *core.Pipeline, nextFrame int) {
+	r.base = pipe.Snapshot()
+	r.baseFrame = nextFrame
+	r.ring = r.ring[:0]
+	r.haveMid = false
+}
+
+// capture freezes the open pre-roll into a Declaration for the drift
+// that fired on the given stream frame.
+func (r *Recorder) capture(pipe *core.Pipeline, frame int) {
+	di := pipe.Inspector()
+	d := Declaration{
+		ID:          telemetry.DriftID(frame),
+		Frame:       frame,
+		Model:       pipe.Current().Name,
+		Lag:         di.Observed(),
+		Sampled:     di.Sampled(),
+		Martingale:  di.MartingaleValue(),
+		WindowDelta: di.WindowDelta(),
+		MeanP:       di.MeanP(),
+		Attribution: di.Attribution(),
+		BaseFrame:   r.baseFrame,
+		Base:        r.base,
+		Frames:      append([]vidsim.Frame(nil), r.ring...),
+	}
+	r.recs = append(r.recs, d)
+	if len(r.recs) > r.cfg.Keep {
+		r.recs = append(r.recs[:0], r.recs[len(r.recs)-r.cfg.Keep:]...)
+	}
+}
+
+// resolve closes the most recent declaration with the selection outcome.
+func (r *Recorder) resolve(frame int, out core.Outcome, abandoned bool) {
+	if len(r.recs) == 0 {
+		return
+	}
+	d := &r.recs[len(r.recs)-1]
+	if d.Resolved {
+		return
+	}
+	d.Resolved = true
+	d.Resolution = Resolution{
+		Frame:      frame,
+		Model:      out.SwitchedTo,
+		TrainedNew: out.TrainedNew,
+		Abandoned:  abandoned,
+	}
+	// The selector's per-candidate outcomes live in the tracer's event
+	// ring; the latest SelectionResolved belongs to this declaration.
+	evs := r.tracer.Events()
+	for i := len(evs) - 1; i >= 0; i-- {
+		if evs[i].Kind == telemetry.KindSelectionResolved {
+			d.Resolution.Candidates = evs[i].Candidates
+			break
+		}
+	}
+}
+
+// Declarations returns the retained declarations, oldest first. The
+// slice is a copy; the nested snapshots and frames are shared and must
+// be treated as immutable.
+func (r *Recorder) Declarations() []Declaration {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Declaration(nil), r.recs...)
+}
+
+// Get returns the retained declaration with the given drift ID.
+func (r *Recorder) Get(id string) (Declaration, bool) {
+	if r == nil {
+		return Declaration{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.recs {
+		if r.recs[i].ID == id {
+			return r.recs[i], true
+		}
+	}
+	return Declaration{}, false
+}
+
+// RecorderState is the serializable copy of a Recorder, persisted per
+// shard inside checkpoints. It is a value type (no pointers) so gob
+// round-trips it unambiguously; Enabled distinguishes a real state from
+// the zero value a forensics-less checkpoint carries.
+//
+//driftlint:snapshot encode=Recorder.State decode=Restore
+type RecorderState struct {
+	Enabled      bool
+	Window       int
+	Keep         int
+	Frame        int
+	Ring         []vidsim.Frame
+	Base         core.PipelineSnapshot
+	BaseFrame    int
+	Mid          core.PipelineSnapshot
+	MidFrame     int
+	HaveMid      bool
+	Pending      bool
+	Declarations []Declaration
+}
+
+// State captures the recorder for checkpointing. A nil recorder returns
+// the zero (disabled) state.
+func (r *Recorder) State() RecorderState {
+	if r == nil {
+		return RecorderState{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RecorderState{
+		Enabled:      true,
+		Window:       r.cfg.Window,
+		Keep:         r.cfg.Keep,
+		Frame:        r.frame,
+		Ring:         append([]vidsim.Frame(nil), r.ring...),
+		Base:         r.base,
+		BaseFrame:    r.baseFrame,
+		Mid:          r.mid,
+		MidFrame:     r.midFrame,
+		HaveMid:      r.haveMid,
+		Pending:      r.pending,
+		Declarations: append([]Declaration(nil), r.recs...),
+	}
+}
+
+// Restore rebuilds a recorder from a state captured by State. Every
+// subsequent Record call leaves the recorder exactly where the
+// snapshotted recorder would have been — declarations, pre-roll and
+// replay bases included.
+func Restore(s RecorderState, tracer *telemetry.Tracer) (*Recorder, error) {
+	if !s.Enabled {
+		return nil, fmt.Errorf("forensics: restoring a disabled recorder state")
+	}
+	if s.Window <= 0 || s.Keep <= 0 {
+		return nil, fmt.Errorf("forensics: recorder state has invalid sizing (window=%d keep=%d)", s.Window, s.Keep)
+	}
+	if s.Frame < 0 || s.BaseFrame < 0 || s.BaseFrame > s.Frame {
+		return nil, fmt.Errorf("forensics: recorder state has inconsistent frames (frame=%d base=%d)", s.Frame, s.BaseFrame)
+	}
+	return &Recorder{
+		cfg:       Config{Enabled: true, Window: s.Window, Keep: s.Keep},
+		tracer:    tracer,
+		frame:     s.Frame,
+		ring:      append([]vidsim.Frame(nil), s.Ring...),
+		base:      s.Base,
+		baseFrame: s.BaseFrame,
+		mid:       s.Mid,
+		midFrame:  s.MidFrame,
+		haveMid:   s.HaveMid,
+		pending:   s.Pending,
+		recs:      append([]Declaration(nil), s.Declarations...),
+	}, nil
+}

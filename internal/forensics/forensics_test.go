@@ -1,0 +1,260 @@
+package forensics
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"videodrift/internal/classifier"
+	"videodrift/internal/core"
+	"videodrift/internal/telemetry"
+	"videodrift/internal/vae"
+	"videodrift/internal/vidsim"
+	"videodrift/internal/vision"
+)
+
+const (
+	testW          = 16
+	testH          = 16
+	testDim        = testW * testH
+	testNumClasses = 6
+)
+
+func testLabeler(f vidsim.Frame) int {
+	c := f.CountClass(vidsim.Car)
+	if c >= testNumClasses {
+		c = testNumClasses - 1
+	}
+	return c
+}
+
+func lightTraffic(c vidsim.Condition) vidsim.Condition {
+	c.CarRate = 5.5
+	c.BusRate = 0
+	return c
+}
+
+var (
+	fixOnce          sync.Once
+	fixDay, fixNight *core.ModelEntry
+)
+
+// getEntries provisions the shared day/night pair once for the package.
+func getEntries() []*core.ModelEntry {
+	fixOnce.Do(func() {
+		pcfg := core.ProvisionConfig{
+			VAE:          vae.Config{InputDim: testDim, HiddenDim: 32, LatentDim: 6, Beta: 0.5, LR: 2e-3},
+			VAEEpochs:    4,
+			SampleCount:  80,
+			K:            5,
+			Classifier:   classifier.Config{InputDim: vision.QueryDim, HiddenDim: 24, NumClasses: testNumClasses, LR: 5e-3, Epochs: 30},
+			EnsembleSize: 3,
+			Seed:         31,
+		}
+		day := vidsim.GenerateTraining(lightTraffic(vidsim.Day()), testW, testH, 200, 11)
+		fixDay = core.Provision("day", day, testLabeler, pcfg)
+		pcfg.Seed = 32
+		night := vidsim.GenerateTraining(lightTraffic(vidsim.Night()), testW, testH, 200, 12)
+		fixNight = core.Provision("night", night, testLabeler, pcfg)
+	})
+	return []*core.ModelEntry{fixDay, fixNight}
+}
+
+func newTestPipeline(t *testing.T) (*core.Pipeline, core.PipelineConfig) {
+	t.Helper()
+	ents := getEntries()
+	cfg := core.DefaultPipelineConfig(testDim, testNumClasses)
+	cfg.Selector = core.SelectorMSBI
+	return core.NewPipeline(core.NewRegistry(ents...), testLabeler, cfg), cfg
+}
+
+func stream(cond vidsim.Condition, n int, seed int64) []vidsim.Frame {
+	return vidsim.GenerateTrainingStride(lightTraffic(cond), testW, testH, n, 1, seed)
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(nil, vidsim.Frame{}, core.Outcome{}) // must not panic
+	if got := r.Declarations(); got != nil {
+		t.Errorf("nil Declarations() = %v", got)
+	}
+	if _, ok := r.Get("drift-00000001"); ok {
+		t.Error("nil Get found a declaration")
+	}
+	if s := r.State(); s.Enabled {
+		t.Error("nil State() reports enabled")
+	}
+	if c := r.Config(); c != (Config{}) {
+		t.Errorf("nil Config() = %+v", c)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	pipe, _ := newTestPipeline(t)
+	r := NewRecorder(Config{Enabled: true}, nil, pipe)
+	if c := r.Config(); c.Window != DefaultWindow || c.Keep != DefaultKeep {
+		t.Errorf("defaulted config = %+v", c)
+	}
+}
+
+// TestPreRollRotation drives an in-distribution stream through a small
+// recorder and checks the double-buffer invariant after every frame: once
+// the stream has run at least Window frames, the replay base always
+// trails the head by Window..2·Window frames, and the ring holds exactly
+// the frames since the base.
+func TestPreRollRotation(t *testing.T) {
+	pipe, _ := newTestPipeline(t)
+	const w = 8
+	r := NewRecorder(Config{Enabled: true, Window: w}, nil, pipe)
+
+	frames := stream(vidsim.Day(), 5*w, 101)
+	for i, f := range frames {
+		out := pipe.Process(f)
+		if out.Drift {
+			t.Fatalf("in-distribution stream declared drift at frame %d", i)
+		}
+		r.Record(pipe, f, out)
+
+		s := r.State()
+		if s.Frame != i+1 {
+			t.Fatalf("frame %d: recorder frame counter %d", i, s.Frame)
+		}
+		if got := s.Frame - s.BaseFrame; got != len(s.Ring) {
+			t.Fatalf("frame %d: base at %d but ring holds %d frames", i, s.BaseFrame, len(s.Ring))
+		}
+		if len(s.Ring) > 2*w {
+			t.Fatalf("frame %d: ring grew to %d (> 2·%d)", i, len(s.Ring), w)
+		}
+		if i+1 >= w && len(s.Ring) < w {
+			t.Fatalf("frame %d: only %d pre-roll frames (< window %d)", i, len(s.Ring), w)
+		}
+	}
+	// 5·W frames force at least one base promotion.
+	if s := r.State(); s.BaseFrame == 0 {
+		t.Error("base was never promoted past the stream start")
+	}
+	if got := r.Declarations(); len(got) != 0 {
+		t.Errorf("no-drift stream captured %d declarations", len(got))
+	}
+}
+
+// TestCaptureResolveReplay runs a real drift through the recorder:
+// the declaration carries the inspector's evidence and a replayable
+// pre-roll, resolution closes it when the pipeline returns to
+// monitoring, and Replay reproduces the declaration bit-identically.
+func TestCaptureResolveReplay(t *testing.T) {
+	pipe, cfg := newTestPipeline(t)
+	r := NewRecorder(Config{Enabled: true, Window: 16, Keep: 2}, nil, pipe)
+
+	frames := append(stream(vidsim.Day(), 60, 201), stream(vidsim.Night(), 120, 202)...)
+	for _, f := range frames {
+		r.Record(pipe, f, pipe.Process(f))
+	}
+	decls := r.Declarations()
+	if len(decls) == 0 {
+		t.Fatal("night shift never declared a drift")
+	}
+	d := decls[0]
+	if d.ID != telemetry.DriftID(d.Frame) {
+		t.Errorf("ID %q does not match frame %d", d.ID, d.Frame)
+	}
+	if d.Model != "day" {
+		t.Errorf("declared against model %q", d.Model)
+	}
+	if d.Martingale <= 0 || d.WindowDelta <= 0 {
+		t.Errorf("evidence not captured: martingale %v, window delta %v", d.Martingale, d.WindowDelta)
+	}
+	if len(d.Attribution) == 0 {
+		t.Error("no attribution captured")
+	}
+	if len(d.Frames) == 0 || d.BaseFrame+len(d.Frames)-1 != d.Frame {
+		t.Errorf("pre-roll [%d, +%d) does not end at declaration frame %d",
+			d.BaseFrame, len(d.Frames), d.Frame)
+	}
+	if !d.Resolved {
+		t.Fatal("declaration never resolved")
+	}
+	if d.Resolution.Frame <= d.Frame {
+		t.Errorf("resolution frame %d not after declaration frame %d", d.Resolution.Frame, d.Frame)
+	}
+	if !d.Resolution.Abandoned && d.Resolution.Model == "" {
+		t.Error("resolution carries neither a deployed model nor the abandoned flag")
+	}
+	if _, ok := r.Get(d.ID); !ok {
+		t.Errorf("Get(%q) missed", d.ID)
+	}
+
+	res, err := Replay(getEntries(), cfg, d)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if !res.Matches || res.DeclaredFrame != d.Frame {
+		t.Errorf("replay diverged: declared at %d (want %d), matches=%v",
+			res.DeclaredFrame, d.Frame, res.Matches)
+	}
+	if len(res.Points) == 0 {
+		t.Error("replay traced no martingale updates")
+	}
+	last := res.Points[len(res.Points)-1]
+	if math.Float64bits(last.Martingale) != math.Float64bits(d.Martingale) {
+		t.Errorf("final replayed martingale %v, recorded %v", last.Martingale, d.Martingale)
+	}
+
+	// The report renderer works off the same declaration.
+	rep, err := BuildReport(getEntries(), cfg, d)
+	if err != nil {
+		t.Fatalf("BuildReport: %v", err)
+	}
+	var b strings.Builder
+	rep.WriteText(&b)
+	if out := b.String(); !strings.Contains(out, d.ID) {
+		t.Errorf("report does not mention %s:\n%s", d.ID, out)
+	}
+}
+
+func TestStateRestoreRoundTrip(t *testing.T) {
+	pipe, _ := newTestPipeline(t)
+	r := NewRecorder(Config{Enabled: true, Window: 16, Keep: 2}, nil, pipe)
+	frames := append(stream(vidsim.Day(), 60, 301), stream(vidsim.Night(), 60, 302)...)
+	for _, f := range frames {
+		r.Record(pipe, f, pipe.Process(f))
+	}
+
+	s := r.State()
+	if !s.Enabled {
+		t.Fatal("live recorder state reports disabled")
+	}
+	restored, err := Restore(s, nil)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if got := restored.State(); !reflect.DeepEqual(got, s) {
+		t.Errorf("state did not round-trip:\nrestored %+v\noriginal %+v", got, s)
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		s    RecorderState
+	}{
+		{"disabled", RecorderState{}},
+		{"bad window", RecorderState{Enabled: true, Window: 0, Keep: 4}},
+		{"bad keep", RecorderState{Enabled: true, Window: 8, Keep: -1}},
+		{"negative frame", RecorderState{Enabled: true, Window: 8, Keep: 4, Frame: -1}},
+		{"base past head", RecorderState{Enabled: true, Window: 8, Keep: 4, Frame: 3, BaseFrame: 5}},
+	} {
+		if _, err := Restore(tc.s, nil); err == nil {
+			t.Errorf("%s: Restore accepted %+v", tc.name, tc.s)
+		}
+	}
+}
+
+func TestReplayRejectsEmptyPreRoll(t *testing.T) {
+	_, cfg := newTestPipeline(t)
+	if _, err := Replay(getEntries(), cfg, Declaration{}); err == nil {
+		t.Error("Replay accepted a declaration with no captured frames")
+	}
+}

@@ -134,7 +134,7 @@ func (s *System) Process(f vidsim.Frame) Outcome {
 	if res.Drift {
 		s.metrics.DriftsDetected++
 		out.Drift = true
-		tr.DriftDeclared(fmt.Sprintf("cluster-%d", res.Promoted), tempBefore, s.metrics.Frames, 0, 0, 0)
+		tr.DriftDeclared(fmt.Sprintf("cluster-%d", res.Promoted), tempBefore, s.metrics.Frames, 0, 0, 0, nil)
 		if len(s.tempBuf) > 0 {
 			if tr != nil {
 				t0 = time.Now()

@@ -34,6 +34,8 @@ import (
 	"videodrift/internal/classifier"
 	"videodrift/internal/conformal"
 	"videodrift/internal/core"
+	"videodrift/internal/forensics"
+	"videodrift/internal/telemetry"
 	"videodrift/internal/tensor"
 	"videodrift/internal/vae"
 	"videodrift/internal/vision"
@@ -100,6 +102,15 @@ type Checkpoint struct {
 type ShardState struct {
 	Registry []int
 	Pipeline core.PipelineSnapshot
+	// Forensics is the shard's drift-forensics recorder state. Its
+	// Enabled flag distinguishes a live state from the zero value a
+	// forensics-less checkpoint carries (gob decodes absent fields to
+	// zero, so v1 checkpoints written before forensics still load).
+	Forensics forensics.RecorderState
+	// EventCounts is the shard tracer's per-kind event totals at
+	// checkpoint time, informational (drifttool inspect reports them);
+	// nil when the shard ran untraced.
+	EventCounts []telemetry.KindCount
 }
 
 // entryRecord is the gob wire form of one core.ModelEntry.

@@ -6,6 +6,8 @@ import (
 	"io"
 	"os"
 	"time"
+
+	"videodrift/internal/telemetry"
 )
 
 // ModelInfo describes one persisted model entry without rebuilding it.
@@ -30,6 +32,19 @@ type ShardInfo struct {
 	Deployed string // name of the deployed model
 	Models   int    // registry size
 	Buffered int    // frames held in the selection/training buffer
+
+	// EventCounts is the shard tracer's per-kind event totals at
+	// checkpoint time (nil when the shard ran untraced).
+	EventCounts []telemetry.KindCount
+	// Declarations is how many drift declarations the shard's forensics
+	// recorder retained (0 when forensics was disabled).
+	Declarations int
+	// LastDrift summarizes the most recent retained declaration: ID,
+	// frame, monitored model, and the top of its attribution ranking.
+	LastDrift      string
+	LastDriftFrame int
+	LastDriftModel string
+	LastDriftTop   []telemetry.DimShift
 }
 
 // Description is everything `drifttool inspect` reports about a
@@ -111,6 +126,19 @@ func Inspect(path string) (*Description, error) {
 			info.State = fmt.Sprintf("state(%d)", p.State)
 		}
 		info.Deployed = names[sh.Registry[p.Current]]
+		info.EventCounts = sh.EventCounts
+		if sh.Forensics.Enabled && len(sh.Forensics.Declarations) > 0 {
+			info.Declarations = len(sh.Forensics.Declarations)
+			last := sh.Forensics.Declarations[len(sh.Forensics.Declarations)-1]
+			info.LastDrift = last.ID
+			info.LastDriftFrame = last.Frame
+			info.LastDriftModel = last.Model
+			top := last.Attribution
+			if len(top) > 3 {
+				top = top[:3]
+			}
+			info.LastDriftTop = top
+		}
 		d.Shards = append(d.Shards, info)
 	}
 	return d, nil
@@ -140,5 +168,27 @@ func (d *Description) WriteText(w io.Writer) {
 	for i, s := range d.Shards {
 		fmt.Fprintf(w, "    shard %d: frame %d (sampled %d) state=%s deployed=%q registry=%d buffered=%d\n",
 			i, s.Frames, s.Sampled, s.State, s.Deployed, s.Models, s.Buffered)
+		if len(s.EventCounts) > 0 {
+			fmt.Fprintf(w, "      events:")
+			for _, kc := range s.EventCounts {
+				fmt.Fprintf(w, " %s=%d", kc.Kind, kc.Count)
+			}
+			fmt.Fprintf(w, "\n")
+		}
+		if s.Declarations > 0 {
+			fmt.Fprintf(w, "      drifts retained: %d, last %s @ frame %d on %q", s.Declarations, s.LastDrift, s.LastDriftFrame, s.LastDriftModel)
+			for j, a := range s.LastDriftTop {
+				sep := " —"
+				if j > 0 {
+					sep = ","
+				}
+				name := a.Name
+				if name == "" {
+					name = fmt.Sprintf("dim%d", a.Dim)
+				}
+				fmt.Fprintf(w, "%s %s js=%.3f", sep, name, a.JS)
+			}
+			fmt.Fprintf(w, "\n")
+		}
 	}
 }

@@ -7,6 +7,13 @@ import (
 	"strconv"
 )
 
+// BucketCount is one cumulative histogram bucket: how many observations
+// were at or below LeSeconds.
+type BucketCount struct {
+	LeSeconds float64 `json:"le_seconds"`
+	Count     uint64  `json:"count"`
+}
+
 // StageSnapshot is one stage's frozen latency statistics, in seconds.
 type StageSnapshot struct {
 	Stage      string  `json:"stage"`
@@ -16,6 +23,9 @@ type StageSnapshot struct {
 	P50Seconds float64 `json:"p50_seconds"`
 	P95Seconds float64 `json:"p95_seconds"`
 	P99Seconds float64 `json:"p99_seconds"`
+	// Buckets is the cumulative log-bucket distribution behind the
+	// quantiles (occupied buckets only, Prometheus le-style).
+	Buckets []BucketCount `json:"buckets,omitempty"`
 }
 
 // Snapshot is a consistent point-in-time copy of everything a Tracer
@@ -218,6 +228,17 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		p("# TYPE videodrift_stage_latency_max_seconds gauge\n")
 		for _, st := range s.Stages {
 			p("videodrift_stage_latency_max_seconds{stage=%q} %s\n", st.Stage, promFloat(st.MaxSeconds))
+		}
+		p("# HELP videodrift_stage_latency_hist_seconds Per-stage latency as a cumulative log-bucket histogram.\n")
+		p("# TYPE videodrift_stage_latency_hist_seconds histogram\n")
+		for _, st := range s.Stages {
+			for _, b := range st.Buckets {
+				p("videodrift_stage_latency_hist_seconds_bucket{stage=%q,le=%q} %d\n",
+					st.Stage, promFloat(b.LeSeconds), b.Count)
+			}
+			p("videodrift_stage_latency_hist_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", st.Stage, st.Count)
+			p("videodrift_stage_latency_hist_seconds_sum{stage=%q} %s\n", st.Stage, promFloat(st.SumSeconds))
+			p("videodrift_stage_latency_hist_seconds_count{stage=%q} %d\n", st.Stage, st.Count)
 		}
 	}
 	return err

@@ -101,6 +101,25 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return time.Duration(h.max)
 }
 
+// cumBuckets freezes the histogram into cumulative Prometheus-style
+// buckets: one entry per occupied log bucket, whose Count is the number
+// of observations at or below the bucket's upper bound (in seconds).
+// Empty trailing ranges are elided; the exporter appends the implicit
+// le="+Inf" line from the total count.
+func (h *Histogram) cumBuckets() []BucketCount {
+	var out []BucketCount
+	var cum uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		_, hi := bucketBounds(i)
+		out = append(out, BucketCount{LeSeconds: hi / 1e9, Count: cum})
+	}
+	return out
+}
+
 // snapshot freezes the histogram into exported stage statistics.
 func (h *Histogram) snapshot(stage string) StageSnapshot {
 	return StageSnapshot{
@@ -111,5 +130,6 @@ func (h *Histogram) snapshot(stage string) StageSnapshot {
 		P50Seconds: h.Quantile(0.50).Seconds(),
 		P95Seconds: h.Quantile(0.95).Seconds(),
 		P99Seconds: h.Quantile(0.99).Seconds(),
+		Buckets:    h.cumBuckets(),
 	}
 }

@@ -134,6 +134,24 @@ func (s State) String() string {
 	return fmt.Sprintf("state(%d)", int(s))
 }
 
+// MarshalJSON encodes the state as its name.
+func (s State) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON decodes a state from its name.
+func (s *State) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	for i, n := range stateNames {
+		if n == name {
+			*s = State(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("telemetry: unknown pipeline state %q", name)
+}
+
 // Health is the monitor's degradation state: ok (full drift-adaptive
 // operation), degraded (serving continues on the deployed model but
 // some adaptation machinery — training, checkpointing, a shard — is
@@ -217,6 +235,30 @@ func (s Stage) String() string {
 	return fmt.Sprintf("stage(%d)", int(s))
 }
 
+// DimShift is one feature dimension's reference-versus-recent divergence,
+// attached (ranked, most-moved first) to every drift declaration so
+// operators can see WHICH appearance statistic moved, not just that the
+// martingale crossed its threshold. KL and JS are binned divergences of
+// the recent sampled window against the model's reference sample,
+// computed over a deterministic fixed binning derived from the reference
+// (see core.FeatWindowStats); MeanShift is recent mean − reference mean;
+// VarRatio is recent variance / reference variance.
+type DimShift struct {
+	Dim       int     `json:"dim"`
+	Name      string  `json:"name,omitempty"`
+	KL        float64 `json:"kl"`
+	JS        float64 `json:"js"`
+	MeanShift float64 `json:"mean_shift"`
+	VarRatio  float64 `json:"var_ratio"`
+}
+
+// DriftID derives the stable identifier of a drift declared on the given
+// stream frame. It is a pure function of the frame index, so the ID a
+// live tracer assigns, the ID a warm-restarted run re-derives, and the ID
+// a forensics replay reproduces are all identical; frames are strictly
+// increasing within a shard, so IDs are unique per stream.
+func DriftID(frame int) string { return fmt.Sprintf("drift-%08d", frame) }
+
 // Candidate is one model's outcome inside a selection event: MSBI
 // reports the i.i.d.-hypothesis rejection plus the final martingale
 // value and mean conformal p-value on the window; MSBO reports the
@@ -239,6 +281,10 @@ type Event struct {
 	// (-1 for events before the first frame, e.g. the initial deploy).
 	Frame int `json:"frame"`
 
+	// ID is the stable drift-declaration identifier (DriftID of the
+	// declaration frame); set only on drift_declared events.
+	ID string `json:"id,omitempty"`
+
 	Model    string `json:"model,omitempty"`
 	Selector string `json:"selector,omitempty"`
 
@@ -252,6 +298,9 @@ type Event struct {
 	Martingale  float64 `json:"martingale,omitempty"`
 	WindowDelta float64 `json:"window_delta,omitempty"`
 	MeanP       float64 `json:"mean_p,omitempty"`
+	// Attribution is the ranked per-dimension "what moved" vector of a
+	// drift_declared event (most-diverged dimension first).
+	Attribution []DimShift `json:"attribution,omitempty"`
 
 	// Selection / training fields.
 	FramesUsed  int         `json:"frames_used,omitempty"`
@@ -403,8 +452,11 @@ func (t *Tracer) MartingaleUpdate(p, value, windowDelta, meanP float64) {
 
 // DriftDeclared records a declared drift on the named model's
 // distribution. lag is frames observed since the inspector's last reset;
-// sampled is how many were folded into the martingale.
-func (t *Tracer) DriftDeclared(model string, lag, sampled int, martingale, windowDelta, meanP float64) {
+// sampled is how many were folded into the martingale; attr is the
+// ranked per-dimension attribution vector (may be nil when the caller
+// has no feature statistics). The event carries the stable declaration
+// ID derived from the current frame.
+func (t *Tracer) DriftDeclared(model string, lag, sampled int, martingale, windowDelta, meanP float64, attr []DimShift) {
 	if t == nil {
 		return
 	}
@@ -412,12 +464,14 @@ func (t *Tracer) DriftDeclared(model string, lag, sampled int, martingale, windo
 	t.martingale, t.windowDelta, t.meanP = martingale, windowDelta, meanP
 	t.emit(Event{
 		Kind:        KindDriftDeclared,
+		ID:          DriftID(t.curFrame),
 		Model:       model,
 		Lag:         lag,
 		Sampled:     sampled,
 		Martingale:  martingale,
 		WindowDelta: windowDelta,
 		MeanP:       meanP,
+		Attribution: attr,
 	}, true)
 	t.mu.Unlock()
 }
@@ -565,6 +619,31 @@ func (t *Tracer) ObserveStage(s Stage, d time.Duration) {
 	t.mu.Lock()
 	t.stages[s].Observe(d)
 	t.mu.Unlock()
+}
+
+// KindCount is one event kind's cumulative counter, exported by
+// KindCounts in enum order so downstream consumers (checkpoint state,
+// `drifttool inspect`) see a deterministic sequence.
+type KindCount struct {
+	Kind  string `json:"kind"`
+	Count uint64 `json:"count"`
+}
+
+// KindCounts returns the nonzero per-kind event counters, ordered by
+// kind. Counters include events the ring has since evicted.
+func (t *Tracer) KindCounts() []KindCount {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]KindCount, 0, kindCount)
+	for k := Kind(0); k < kindCount; k++ {
+		if t.counts[k] > 0 {
+			out = append(out, KindCount{Kind: k.String(), Count: t.counts[k]})
+		}
+	}
+	return out
 }
 
 // Events returns the retained events, oldest first.

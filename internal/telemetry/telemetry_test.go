@@ -102,7 +102,7 @@ func TestHistogramQuantileVsExactSort(t *testing.T) {
 func TestRingBufferWraparound(t *testing.T) {
 	tr := New(Config{RingSize: 4})
 	for i := 0; i < 7; i++ {
-		tr.DriftDeclared("m", 100+i, i, 0, 0, 0)
+		tr.DriftDeclared("m", 100+i, i, 0, 0, 0, nil)
 	}
 	evs := tr.Events()
 	if len(evs) != 4 {
@@ -152,7 +152,7 @@ func TestEventFrameStamping(t *testing.T) {
 	tr.ModelDeployed("day") // before any frame
 	tr.FrameObserved(StateMonitoring)
 	tr.FrameObserved(StateMonitoring)
-	tr.DriftDeclared("day", 2, 1, 7, 7, 0.1)
+	tr.DriftDeclared("day", 2, 1, 7, 7, 0.1, nil)
 	evs := tr.Events()
 	if evs[0].Frame != -1 {
 		t.Errorf("pre-stream deploy frame = %d, want -1", evs[0].Frame)
@@ -188,7 +188,7 @@ func TestNilTracerIsSafe(t *testing.T) {
 	}
 	tr.FrameObserved(StateMonitoring)
 	tr.MartingaleUpdate(0.5, 1, 1, 0.5)
-	tr.DriftDeclared("m", 1, 1, 0, 0, 0)
+	tr.DriftDeclared("m", 1, 1, 0, 0, 0, nil)
 	tr.SelectionStarted("MSBO")
 	tr.SelectionResolved("MSBO", "m", 10, nil)
 	tr.ModelTrained("m", 100)
@@ -223,7 +223,7 @@ func TestPrometheusGolden(t *testing.T) {
 	tr.ObserveStage(StageFeaturize, 1500*time.Nanosecond)
 	tr.ObserveStage(StageFeaturize, 2500*time.Nanosecond)
 	tr.ObserveStage(StageClassify, 4096*time.Nanosecond)
-	tr.DriftDeclared("day", 40, 4, 8, 6.5, 0.1)
+	tr.DriftDeclared("day", 40, 4, 8, 6.5, 0.1, nil)
 	tr.ModelDeployed("night")
 
 	var b strings.Builder
@@ -299,6 +299,17 @@ videodrift_stage_latency_seconds_count{stage="classify"} 1
 # TYPE videodrift_stage_latency_max_seconds gauge
 videodrift_stage_latency_max_seconds{stage="featurize"} 2.5e-06
 videodrift_stage_latency_max_seconds{stage="classify"} 4.096e-06
+# HELP videodrift_stage_latency_hist_seconds Per-stage latency as a cumulative log-bucket histogram.
+# TYPE videodrift_stage_latency_hist_seconds histogram
+videodrift_stage_latency_hist_seconds_bucket{stage="featurize",le="2.048e-06"} 1
+videodrift_stage_latency_hist_seconds_bucket{stage="featurize",le="4.096e-06"} 2
+videodrift_stage_latency_hist_seconds_bucket{stage="featurize",le="+Inf"} 2
+videodrift_stage_latency_hist_seconds_sum{stage="featurize"} 4e-06
+videodrift_stage_latency_hist_seconds_count{stage="featurize"} 2
+videodrift_stage_latency_hist_seconds_bucket{stage="classify",le="8.192e-06"} 1
+videodrift_stage_latency_hist_seconds_bucket{stage="classify",le="+Inf"} 1
+videodrift_stage_latency_hist_seconds_sum{stage="classify"} 4.096e-06
+videodrift_stage_latency_hist_seconds_count{stage="classify"} 1
 `
 	if got := b.String(); got != golden {
 		t.Errorf("Prometheus exposition drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", got, golden)
@@ -337,7 +348,7 @@ func TestTracerConcurrentUse(t *testing.T) {
 				tr.FrameObserved(StateMonitoring)
 				tr.ObserveStage(StageFeaturize, time.Microsecond)
 				if i%50 == 0 {
-					tr.DriftDeclared("m", i, i/10, 1, 1, 0.5)
+					tr.DriftDeclared("m", i, i/10, 1, 1, 0.5, nil)
 				}
 			}
 		}()
@@ -491,5 +502,116 @@ func TestHealthJSONRoundTrip(t *testing.T) {
 	var bad Health
 	if err := json.Unmarshal([]byte(`"wedged"`), &bad); err == nil {
 		t.Error("unknown health name decoded without error")
+	}
+}
+
+// TestEnumJSONRoundTrip exhaustively round-trips every value of every
+// exported enum through JSON: each value must encode to a distinct,
+// non-numeric name and decode back to itself, and an unknown name must
+// be rejected — so exported snapshots stay greppable and new enum values
+// cannot ship without a name.
+func TestEnumJSONRoundTrip(t *testing.T) {
+	seen := map[string]bool{}
+	roundTrip := func(enum string, v json.Marshaler, decodeInto func([]byte) (any, error)) {
+		t.Helper()
+		raw, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("%s %v: %v", enum, v, err)
+		}
+		var name string
+		if err := json.Unmarshal(raw, &name); err != nil || name == "" {
+			t.Fatalf("%s %v encoded to %s, want a non-empty string", enum, v, raw)
+		}
+		if key := enum + "/" + name; seen[key] {
+			t.Errorf("%s name %q is not distinct", enum, name)
+		} else {
+			seen[key] = true
+		}
+		back, err := decodeInto(raw)
+		if err != nil {
+			t.Fatalf("%s: decode %s: %v", enum, raw, err)
+		}
+		if back != any(v) {
+			t.Errorf("%s %v round-tripped to %v", enum, v, back)
+		}
+	}
+	for k := Kind(0); k < kindCount; k++ {
+		roundTrip("kind", k, func(raw []byte) (any, error) {
+			var back Kind
+			err := json.Unmarshal(raw, &back)
+			return back, err
+		})
+	}
+	for s := State(0); s < stateCount; s++ {
+		roundTrip("state", s, func(raw []byte) (any, error) {
+			var back State
+			err := json.Unmarshal(raw, &back)
+			return back, err
+		})
+	}
+	for h := Health(0); h < healthCount; h++ {
+		roundTrip("health", h, func(raw []byte) (any, error) {
+			var back Health
+			err := json.Unmarshal(raw, &back)
+			return back, err
+		})
+	}
+	var k Kind
+	if err := json.Unmarshal([]byte(`"not_a_kind"`), &k); err == nil {
+		t.Error("unknown kind name decoded without error")
+	}
+	var s State
+	if err := json.Unmarshal([]byte(`"daydreaming"`), &s); err == nil {
+		t.Error("unknown state name decoded without error")
+	}
+}
+
+// TestHistogramQuantilePinned pins the interpolation math on a
+// hand-computed distribution: 4 observations of 100 ns (bucket [64,128)),
+// 4 of 1000 ns (bucket [512,1024)) and 2 of 10000 ns (bucket
+// [8192,16384)). Rank r inside a bucket with c observations and bounds
+// [lo, hi) interpolates to lo + (hi−lo)·r/c, capped at the exact max.
+func TestHistogramQuantilePinned(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 4; i++ {
+		h.Observe(100 * time.Nanosecond)
+	}
+	for i := 0; i < 4; i++ {
+		h.Observe(1000 * time.Nanosecond)
+	}
+	for i := 0; i < 2; i++ {
+		h.Observe(10000 * time.Nanosecond)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0, 80},      // rank 1 of 4 in [64,128): 64 + 64·1/4
+		{0.3, 112},   // rank 3 of 4 in [64,128): 64 + 64·3/4
+		{0.5, 640},   // rank 5 → rank 1 of 4 in [512,1024): 512 + 512·1/4
+		{0.8, 1024},  // rank 8 → rank 4 of 4 in [512,1024): the bucket's hi
+		{0.9, 10000}, // rank 9 interpolates past the max and is capped to it
+		{1, 10000},   // exact max
+	} {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%g) = %v, want %vns", tc.q, got, tc.want)
+		}
+	}
+
+	// The same distribution's cumulative export: one entry per occupied
+	// bucket, counts monotone, last count == total, bounds in seconds.
+	want := []BucketCount{
+		{LeSeconds: 128e-9, Count: 4},
+		{LeSeconds: 1024e-9, Count: 8},
+		{LeSeconds: 16384e-9, Count: 10},
+	}
+	got := h.snapshot("pinned").Buckets
+	if len(got) != len(want) {
+		t.Fatalf("cumulative buckets %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %+v, want %+v", i, got[i], want[i])
+		}
 	}
 }

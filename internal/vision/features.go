@@ -52,6 +52,15 @@ func Featurize(pixels tensor.Vector, w, h int) tensor.Vector {
 // AppearanceDim is the length of the vector Featurize returns.
 const AppearanceDim = 4
 
+// AppearanceDimNames names the appearance dimensions in vector order,
+// for human-readable drift attribution ("which statistic moved").
+var AppearanceDimNames = [AppearanceDim]string{
+	"background",     // pixel median: scene brightness (day/night)
+	"noise_scale",    // scaled MAD: sensor noise and weather texture
+	"dark_objects",   // presence-weighted dark-outlier intensity
+	"bright_objects", // presence-weighted bright-outlier/weather intensity
+}
+
 // Featurizer computes the same appearance vector as Featurize while
 // reusing its outlier-pool and output scratch across calls — the
 // zero-steady-state-allocation form the per-frame monitoring hot path

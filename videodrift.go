@@ -23,8 +23,11 @@
 package videodrift
 
 import (
+	"fmt"
+
 	"videodrift/internal/core"
 	"videodrift/internal/dataset"
+	"videodrift/internal/forensics"
 	"videodrift/internal/query"
 	"videodrift/internal/stats"
 	"videodrift/internal/telemetry"
@@ -118,6 +121,26 @@ const (
 	HealthFailed   = telemetry.HealthFailed
 )
 
+// ForensicsConfig sizes the drift-forensics recorder (see
+// Options.Forensics): pre-roll window length and how many declarations
+// to retain.
+type ForensicsConfig = forensics.Config
+
+// ForensicsRecorder captures drift declarations with their evidence and
+// enough pipeline state to replay them (see internal/forensics).
+type ForensicsRecorder = forensics.Recorder
+
+// DriftDeclaration is one captured drift declaration: evidence,
+// attribution and replayable pre-roll.
+type DriftDeclaration = forensics.Declaration
+
+// DriftReport is the full forensic explanation of one declaration —
+// what `drifttool explain` renders and driftserve's /drift/<id> serves.
+type DriftReport = forensics.Report
+
+// DimShift is one dimension's entry in a drift's attribution ranking.
+type DimShift = telemetry.DimShift
+
 // Options bundles the tunables of provisioning and monitoring. The zero
 // value is not usable; start from Defaults.
 type Options struct {
@@ -126,6 +149,11 @@ type Options struct {
 	// Tracer enables telemetry when non-nil (see NewTracer); it is
 	// wired into the monitor's pipeline and drift inspector.
 	Tracer *Tracer
+	// Forensics enables the drift-forensics recorder when
+	// Forensics.Enabled is true: every drift declaration is captured
+	// with its attribution and a replayable pre-roll, at the cost of
+	// retaining up to 2×Window frames plus Keep declarations per shard.
+	Forensics ForensicsConfig
 }
 
 // Defaults returns paper-parameter options for frames with frameDim
@@ -148,6 +176,7 @@ func BuildModel(name string, frames []Frame, labeler Labeler, opts Options) *Mod
 // Monitor is the drift-aware processing loop of the paper's Figure 1.
 type Monitor struct {
 	pipe *core.Pipeline
+	rec  *forensics.Recorder
 }
 
 // NewMonitor deploys the first model and starts monitoring. The labeler
@@ -159,12 +188,41 @@ func NewMonitor(models []*Model, labeler Labeler, opts Options) *Monitor {
 	if opts.Tracer != nil {
 		opts.Pipeline.Tracer = opts.Tracer
 	}
-	return &Monitor{pipe: core.NewPipeline(reg, labeler, opts.Pipeline)}
+	m := &Monitor{pipe: core.NewPipeline(reg, labeler, opts.Pipeline)}
+	if opts.Forensics.Enabled {
+		m.rec = forensics.NewRecorder(opts.Forensics, opts.Pipeline.Tracer, m.pipe)
+	}
+	return m
 }
 
 // Process runs one frame through the deployed model and the drift
 // machinery.
-func (m *Monitor) Process(f Frame) Event { return m.pipe.Process(f) }
+func (m *Monitor) Process(f Frame) Event {
+	out := m.pipe.Process(f)
+	m.rec.Record(m.pipe, f, out)
+	return out
+}
+
+// Forensics returns the monitor's drift-forensics recorder, nil when
+// Options.Forensics was not enabled. The recorder is safe to read
+// (Declarations, Get, State) from other goroutines while the monitor
+// processes frames.
+func (m *Monitor) Forensics() *ForensicsRecorder { return m.rec }
+
+// Entries returns the monitor's model entries in registry order
+// (forensics replay needs the live objects, not just their names).
+func (m *Monitor) Entries() []*Model { return m.pipe.Registry().Entries() }
+
+// Explain replays the retained drift declaration with the given ID (see
+// telemetry drift_declared events or Forensics().Declarations()) and
+// returns its full forensic report.
+func (m *Monitor) Explain(id string) (DriftReport, error) {
+	d, ok := m.rec.Get(id)
+	if !ok {
+		return DriftReport{}, fmt.Errorf("videodrift: no retained declaration %q (forensics disabled, or evicted past Keep)", id)
+	}
+	return forensics.BuildReport(m.pipe.Registry().Entries(), m.pipe.Config(), d)
+}
 
 // Current returns the name of the deployed model.
 func (m *Monitor) Current() string { return m.pipe.Current().Name }
