@@ -426,3 +426,37 @@ func BenchmarkShardedThroughput(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkShardedThroughputBatched measures the same steady-state
+// monitoring fan-out fed through ProcessBatches at growing micro-batch
+// sizes. Supervision is batch-granular — one pipeline snapshot per batch
+// instead of per frame — so ns/frame falls as the batch grows; batch1 is
+// the ProcessBatch cadence of BenchmarkShardedThroughput.
+func BenchmarkShardedThroughputBatched(b *testing.B) {
+	opts := Defaults(facadeDim, facadeClasses)
+	opts.Pipeline.Selector = MSBI
+	day := BuildModel("day", facadeFrames(facadeCond(vidsim.Day()), 200, 51), nil, opts)
+	night := BuildModel("night", facadeFrames(facadeCond(vidsim.Night()), 200, 52), nil, opts)
+	models := []*Model{day, night}
+	frames := facadeFrames(facadeCond(vidsim.Day()), 256, 53)
+	const shards = 4
+	for _, size := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("shards%d/batch%d", shards, size), func(b *testing.B) {
+			sm := NewShardedMonitor(models, nil, ShardedOptions{Options: opts, Shards: shards})
+			batches := make([][]Frame, shards)
+			for s := range batches {
+				batches[s] = make([]Frame, size)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for s := range batches {
+					for j := range batches[s] {
+						batches[s][j] = frames[(i*size+j+s)%len(frames)]
+					}
+				}
+				sm.ProcessBatches(batches)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*shards*size), "ns/frame")
+		})
+	}
+}

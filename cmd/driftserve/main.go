@@ -38,7 +38,7 @@
 //
 //	driftserve [-addr :9090] [-dataset bdd|detrac|tokyo|slow] [-scale 0.02]
 //	           [-selector msbo|msbi] [-train 300] [-shards 1] [-workers 0]
-//	           [-fps 240] [-frames 0] [-ring 4096] [-perframe] [-v]
+//	           [-batch 1] [-fps 240] [-frames 0] [-ring 4096] [-perframe] [-v]
 //	           [-state-dir dir] [-checkpoint-every 30s]
 //	           [-chaos seed] [-stall-timeout 10s]
 //
@@ -109,6 +109,7 @@ func main() {
 	train := flag.Int("train", 300, "training frames per provisioned condition")
 	shards := flag.Int("shards", 1, "concurrent camera streams over the shared models")
 	workers := flag.Int("workers", 0, "goroutines processing shard frames (0 = GOMAXPROCS)")
+	batchN := flag.Int("batch", 1, "frames per shard per supervised micro-batch (1 = per-frame supervision)")
 	fps := flag.Float64("fps", 240, "per-shard rate limit in frames/second (0 = unthrottled)")
 	frames := flag.Int("frames", 0, "stop after this many frames across all shards (0 = loop forever)")
 	ring := flag.Int("ring", 4096, "telemetry event-ring capacity per shard")
@@ -140,6 +141,9 @@ func main() {
 	}
 	if *shards < 1 {
 		log.Fatalf("-shards must be >= 1, got %d", *shards)
+	}
+	if *batchN < 1 {
+		log.Fatalf("-batch must be >= 1, got %d", *batchN)
 	}
 
 	cfg := experiments.DefaultConfig()
@@ -282,41 +286,62 @@ func main() {
 				}
 			}
 		}
-		batch := make([]vidsim.Frame, *shards)
-		for step := 0; ; step++ {
+		// Frames accumulate into per-shard micro-batches of -batch frames
+		// and reach the supervisor in one ProcessBatches call; -batch 1 is
+		// the classic lockstep one-frame-per-shard cadence. The chaos and
+		// lap-seed schedules key on the per-shard stream index, so batching
+		// never moves a fault or a drift.
+		batches := make([][]vidsim.Frame, *shards)
+		for step := 0; ; {
 			select {
 			case reply := <-ckptReq:
 				reply <- mon.Checkpoint()
 			default:
 			}
-			for s := range streams {
-				f, ok := streams[s].Next()
-				for !ok {
-					laps[s]++
-					streams[s] = newStream(s, laps[s])
-					f, ok = streams[s].Next()
-				}
-				// The chaos schedule holds no drop/dup faults, so Apply
-				// yields exactly one (possibly corrupted) frame; the
-				// admission gate quarantines the corrupted ones.
-				if out := inj.Apply(s, step, f); len(out) == 1 {
-					f = out[0]
-				}
-				batch[s] = f
+			for s := range batches {
+				batches[s] = batches[s][:0]
 			}
-			events := mon.ProcessBatch(batch)
-			n := processed.Add(int64(len(events)))
-			if *verbose {
-				for s, out := range events {
-					if out.Drift {
-						fmt.Fprintf(os.Stderr, "shard %d frame %d [%s]: drift declared\n", s, n-1, batch[s].Condition)
+			for b := 0; b < *batchN; b++ {
+				for s := range streams {
+					f, ok := streams[s].Next()
+					for !ok {
+						laps[s]++
+						streams[s] = newStream(s, laps[s])
+						f, ok = streams[s].Next()
 					}
-					if out.SwitchedTo != "" {
-						fmt.Fprintf(os.Stderr, "shard %d frame %d [%s]: deployed %q (trained=%v)\n",
-							s, n-1, batch[s].Condition, out.SwitchedTo, out.TrainedNew)
+					// The chaos schedule holds no drop/dup faults, so Apply
+					// yields exactly one (possibly corrupted) frame; the
+					// admission gate quarantines the corrupted ones.
+					if out := inj.Apply(s, step, f); len(out) == 1 {
+						f = out[0]
 					}
+					batches[s] = append(batches[s], f)
+				}
+				step++
+				// Tick per frame-per-shard, not per flush, so -fps means the
+				// same stream rate at any batch size.
+				if throttle != nil && b < *batchN-1 {
+					<-throttle.C
 				}
 			}
+			events := mon.ProcessBatches(batches)
+			total := 0
+			for s, evs := range events {
+				total += len(evs)
+				if *verbose {
+					for j, out := range evs {
+						at := step - len(evs) + j
+						if out.Drift {
+							fmt.Fprintf(os.Stderr, "shard %d frame %d [%s]: drift declared\n", s, at, batches[s][j].Condition)
+						}
+						if out.SwitchedTo != "" {
+							fmt.Fprintf(os.Stderr, "shard %d frame %d [%s]: deployed %q (trained=%v)\n",
+								s, at, batches[s][j].Condition, out.SwitchedTo, out.TrainedNew)
+						}
+					}
+				}
+			}
+			n := processed.Add(int64(total))
 			if *frames > 0 && n >= int64(*frames) {
 				fmt.Fprintf(os.Stderr, "frame budget reached (%d); streams stopped, still serving\n", n)
 				return

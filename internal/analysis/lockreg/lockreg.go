@@ -4,7 +4,7 @@
 //	//driftlint:locked
 //
 // (core.Registry — read by every shard, appended to by concurrent
-// selection runs). Inside the defining package, the struct's non-mutex
+// selection runs). Inside the defining package, the struct's plain
 // fields may be touched only (a) in methods of the struct that acquire
 // the mutex (a .Lock()/.RLock() call lexically before the access, with
 // the usual deferred unlock), (b) in methods whose name ends in
@@ -13,6 +13,13 @@
 // access — from plain functions, other types' methods, or before the
 // lock — is flagged; callers outside the package are already confined
 // to the exported, locking accessors by the fields being unexported.
+//
+// Fields of sync/atomic types (atomic.Pointer[T], atomic.Uint64, …) are
+// self-synchronized: every use goes through their atomic methods, so
+// they are exempt the same way the mutex field itself is. This is what
+// admits the epoch/copy-on-write snapshot pattern — writers serialize
+// on the mutex and publish immutable state through an atomic pointer
+// that readers load lock-free — without per-site suppressions.
 package lockreg
 
 import (
@@ -31,11 +38,13 @@ var Analyzer = &driftlint.Analyzer{
 	Run:  run,
 }
 
-// target is one //driftlint:locked struct: its named type and the names
-// of its mutex fields.
+// target is one //driftlint:locked struct: its named type, the names of
+// its mutex fields, and the names of its self-synchronized sync/atomic
+// fields.
 type target struct {
 	named   *types.Named
 	mutexes map[string]bool
+	atomics map[string]bool
 }
 
 func run(pass *driftlint.Pass) error {
@@ -88,14 +97,17 @@ func collectTargets(pass *driftlint.Pass) []*target {
 					pass.Reportf(ts.Pos(), "//driftlint:locked on %s, which is not a struct type", ts.Name.Name)
 					continue
 				}
-				t := &target{named: named, mutexes: map[string]bool{}}
+				t := &target{named: named, mutexes: map[string]bool{}, atomics: map[string]bool{}}
 				for i := 0; i < st.NumFields(); i++ {
-					if isMutex(st.Field(i).Type()) {
+					switch {
+					case isMutex(st.Field(i).Type()):
 						t.mutexes[st.Field(i).Name()] = true
+					case isAtomic(st.Field(i).Type()):
+						t.atomics[st.Field(i).Name()] = true
 					}
 				}
-				if len(t.mutexes) == 0 {
-					pass.Reportf(ts.Pos(), "//driftlint:locked on %s, which has no sync.Mutex or sync.RWMutex field", ts.Name.Name)
+				if len(t.mutexes) == 0 && len(t.atomics) == 0 {
+					pass.Reportf(ts.Pos(), "//driftlint:locked on %s, which has no sync.Mutex, sync.RWMutex, or sync/atomic field", ts.Name.Name)
 					continue
 				}
 				targets = append(targets, t)
@@ -127,6 +139,17 @@ func isMutex(t types.Type) bool {
 		(named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex")
 }
 
+// isAtomic reports whether t is a sync/atomic type (Pointer[T], Uint64,
+// Bool, Value, …): fields of these types synchronize themselves, every
+// access going through their atomic methods.
+func isAtomic(t types.Type) bool {
+	named := driftlint.NamedOf(t)
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync/atomic"
+}
+
 // checkFunc inspects one function for accesses to any target's fields.
 func checkFunc(pass *driftlint.Pass, fd *ast.FuncDecl, targets []*target) {
 	for _, t := range targets {
@@ -145,6 +168,9 @@ func checkFunc(pass *driftlint.Pass, fd *ast.FuncDecl, targets []*target) {
 			}
 			if t.mutexes[s.Obj().Name()] {
 				return true // touching the mutex itself is the point
+			}
+			if t.atomics[s.Obj().Name()] {
+				return true // sync/atomic fields are self-synchronized
 			}
 			name := t.named.Obj().Name()
 			switch {

@@ -1,7 +1,10 @@
 // Package lockfix exercises the lockreg analyzer.
 package lockfix
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Reg mirrors core.Registry: a mutex-guarded append-only collection.
 //
@@ -60,8 +63,62 @@ func (r *Reg) Sampled() int {
 // NoMutex cannot be lock-checked.
 //
 //driftlint:locked
-type NoMutex struct { // want `on NoMutex, which has no sync\.Mutex or sync\.RWMutex field`
+type NoMutex struct { // want `on NoMutex, which has no sync\.Mutex, sync\.RWMutex, or sync/atomic field`
 	x int
 }
 
 var _ = NoMutex{}.x
+
+// Cow mirrors the epoch/copy-on-write registry: writers serialize on mu
+// and publish immutable snapshots through an atomic pointer that
+// readers load lock-free. The atomic field is self-synchronized, so
+// touching it without the mutex is fine everywhere.
+//
+//driftlint:locked
+type Cow struct {
+	mu   sync.Mutex
+	snap atomic.Pointer[[]int]
+	gen  int
+}
+
+// View loads the snapshot lock-free — allowed: snap is atomic.
+func (c *Cow) View() []int {
+	if p := c.snap.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Publish copies, appends, and stores under the writer mutex; the plain
+// gen field still demands the lock.
+func (c *Cow) Publish(x int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+	next := append(append([]int(nil), c.View()...), x)
+	c.snap.Store(&next)
+}
+
+// NewCow stores through the atomic during construction — allowed even
+// from a plain function.
+func NewCow(items []int) *Cow {
+	c := &Cow{}
+	c.snap.Store(&items)
+	return c
+}
+
+// BadGen reads the plain generation counter without the mutex.
+func (c *Cow) BadGen() int {
+	return c.gen // want `method \(Cow\)\.BadGen reads Cow\.gen without acquiring its mutex`
+}
+
+// AtomicOnly has no mutex at all: every field synchronizes itself, so
+// the marker is satisfied.
+//
+//driftlint:locked
+type AtomicOnly struct {
+	n atomic.Int64
+}
+
+// Bump needs no lock.
+func (a *AtomicOnly) Bump() { a.n.Add(1) }

@@ -1,0 +1,147 @@
+package conformal
+
+import (
+	"fmt"
+	"testing"
+
+	"videodrift/internal/stats"
+	"videodrift/internal/tensor"
+)
+
+// TestDotKernelMatchesBruteForce is the bit-identity property test of the
+// dot-product kNN path: in the wide-row regime (dim >= dotKernelDim) the
+// scorer prunes with the |x|²+|b|²−2x·b estimate but recomputes every
+// surviving row exactly, so scores must equal BruteScore to the bit —
+// across random shapes, clustered references (the pruning-friendly
+// regime), adversarial near-ties, and leave-one-out skips.
+func TestDotKernelMatchesBruteForce(t *testing.T) {
+	rng := stats.NewRNG(301)
+	for trial := 0; trial < 120; trial++ {
+		n := 1 + rng.Intn(200)
+		d := dotKernelDim + rng.Intn(80) // 32..111: always the dot path
+		k := 1 + rng.Intn(8)
+		ref := randomRef(rng, n, d)
+		m := KNN{K: k}
+		scorer := NewKNNScorer(k, tensor.FlattenVectors(ref))
+		for q := 0; q < 4; q++ {
+			x := tensor.Vector(rng.NormalVec(d, 0, 2))
+			want := m.BruteScore(x, ref)
+			if got := scorer.Score(x); got != want {
+				t.Fatalf("trial %d (n=%d d=%d k=%d): dot-path Score = %v, brute = %v (Δ=%g)",
+					trial, n, d, k, got, want, got-want)
+			}
+			skip := rng.Intn(n)
+			if n > 1 {
+				wantSkip := m.BruteScore(x, append(append([]tensor.Vector{}, ref[:skip]...), ref[skip+1:]...))
+				if got := scorer.ScoreSkip(x, skip); got != wantSkip {
+					t.Fatalf("trial %d (n=%d d=%d k=%d skip=%d): ScoreSkip = %v, brute = %v",
+						trial, n, d, k, skip, got, wantSkip)
+				}
+			}
+		}
+	}
+}
+
+// TestDotKernelClusteredAndTied drives the dot path through the cases
+// where a filter-based kernel can go wrong: exact duplicate rows, rows
+// differing only in the last coordinate (the final block decides), and
+// tight clusters where nearly every row survives pruning.
+func TestDotKernelClusteredAndTied(t *testing.T) {
+	rng := stats.NewRNG(302)
+	const d = 2 * dotKernelDim
+	center := tensor.Vector(rng.UniformVec(d, 0, 1))
+	var ref []tensor.Vector
+	for i := 0; i < 40; i++ {
+		v := center.Clone()
+		for j := range v {
+			v[j] += rng.Uniform(-0.01, 0.01)
+		}
+		ref = append(ref, v)
+	}
+	// Exact duplicates straddling the K boundary.
+	ref = append(ref, ref[0].Clone(), ref[1].Clone(), ref[2].Clone())
+	// Last-coordinate-only perturbations of the probe's nearest row.
+	for i := 0; i < 5; i++ {
+		v := ref[3].Clone()
+		v[d-1] += float64(i) * 1e-9
+		ref = append(ref, v)
+	}
+	m := KNN{K: 5}
+	scorer := NewKNNScorer(5, tensor.FlattenVectors(ref))
+	for q := 0; q < 50; q++ {
+		x := center.Clone()
+		for j := range x {
+			x[j] += rng.Uniform(-0.02, 0.02)
+		}
+		want := m.BruteScore(x, ref)
+		if got := scorer.Score(x); got != want {
+			t.Fatalf("probe %d: dot-path Score = %v, brute = %v (Δ=%g)", q, got, want, got-want)
+		}
+	}
+}
+
+// TestDotKernelZeroVectors pins the degenerate geometry: all-zero probes
+// and rows make |x|²+|b|²−2x·b collapse to 0−0, where the slack term's
+// +1 keeps the filter from discarding exact matches.
+func TestDotKernelZeroVectors(t *testing.T) {
+	const d = dotKernelDim
+	ref := make([]tensor.Vector, 10)
+	for i := range ref {
+		ref[i] = make(tensor.Vector, d)
+		if i >= 5 {
+			ref[i][0] = float64(i)
+		}
+	}
+	m := KNN{K: 3}
+	scorer := NewKNNScorer(3, tensor.FlattenVectors(ref))
+	probe := make(tensor.Vector, d)
+	if got, want := scorer.Score(probe), m.BruteScore(probe, ref); got != want {
+		t.Fatalf("zero-vector Score = %v, brute = %v", got, want)
+	}
+}
+
+// TestCalibrateDotKernel checks the leave-one-out calibration path at a
+// dot-kernel width against the generic rest-slice construction.
+func TestCalibrateDotKernel(t *testing.T) {
+	rng := stats.NewRNG(303)
+	ref := randomRef(rng, 60, dotKernelDim+8)
+	m := KNN{K: 5}
+	got := Calibrate(m, ref)
+	for i := range ref {
+		rest := append(append([]tensor.Vector{}, ref[:i]...), ref[i+1:]...)
+		if want := m.BruteScore(ref[i], rest); got[i] != want {
+			t.Fatalf("calib[%d] = %v, brute leave-one-out = %v", i, got[i], want)
+		}
+	}
+}
+
+// TestDotKernelZeroAlloc pins the hot-path allocation contract for the
+// wide-row regime: after the first call warms the probe-norm scratch and
+// the row-norm cache, Score must not allocate.
+func TestDotKernelZeroAlloc(t *testing.T) {
+	rng := stats.NewRNG(304)
+	ref := randomRef(rng, 128, 64)
+	scorer := NewKNNScorer(5, tensor.FlattenVectors(ref))
+	x := tensor.Vector(rng.NormalVec(64, 0, 1))
+	scorer.Score(x) // warm scratch + norm cache
+	if avg := testing.AllocsPerRun(100, func() { scorer.Score(x) }); avg != 0 {
+		t.Errorf("dot-path Score allocates %v times per call, want 0", avg)
+	}
+}
+
+// BenchmarkDotKernelVsEarlyExit is a package-local sanity benchmark for
+// the kernel-selection heuristic (the repo-level BenchmarkKNNScore is
+// the committed baseline).
+func BenchmarkDotKernelVsEarlyExit(b *testing.B) {
+	rng := stats.NewRNG(305)
+	for _, d := range []int{16, 32, 64, 128} {
+		ref := randomRef(rng, 256, d)
+		scorer := NewKNNScorer(5, tensor.FlattenVectors(ref))
+		x := tensor.Vector(rng.NormalVec(d, 0, 1))
+		b.Run(fmt.Sprintf("dim%d", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				scorer.Score(x)
+			}
+		})
+	}
+}

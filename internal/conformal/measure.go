@@ -137,6 +137,7 @@ type KNNScorer struct {
 	k    int
 	ref  *tensor.RefMatrix
 	heap []float64 // size-k max-heap of the smallest squared distances
+	xsuf []float64 // probe suffix-norm scratch for the dot-product kernel
 }
 
 // NewKNNScorer builds a scorer for k nearest neighbours over the
@@ -227,6 +228,32 @@ func (s *KNNScorer) ScoreSkip(x tensor.Vector, skip int) float64 {
 				siftDown(h)
 			}
 		}
+	} else if s.ref.Dim() >= dotKernelDim {
+		// Wide rows: the dot-product kernel. |x−b|² = |x|²+|b|²−2x·b with
+		// the dot accumulated in four independent lanes is throughput-bound
+		// where the subtract-square chain is latency-bound, and precomputed
+		// row/suffix norms prune hopeless rows block by block. The estimate
+		// is used ONLY as a filter (its lane-parallel accumulation is not
+		// bit-compatible with SqDistRow, and the −2x·b form cancels
+		// catastrophically near zero); any row the filter cannot discard —
+		// with conservative slack — is recomputed exactly, so the k-smallest
+		// multiset, and hence the score, is bit-identical to BruteScore.
+		kd := s.ref.NewDotDist(x, s.xsuf)
+		i := 0
+		for filled := 0; filled < k; i++ {
+			if i == skip {
+				continue
+			}
+			h = append(h, s.ref.SqDistRow(x, i))
+			siftUp(h)
+			filled++
+		}
+		// Remaining rows stream through the filter inside the kernel —
+		// no per-row call — with candidates recomputed exactly there, so
+		// the heap's k-smallest multiset stays bit-identical to a full
+		// exact scan.
+		kd.SelectNearest(i, skip, h)
+		s.xsuf = kd.Scratch()
 	} else {
 		for i := 0; i < n; i++ {
 			if i == skip {
@@ -261,6 +288,13 @@ func (s *KNNScorer) ScoreSkip(x tensor.Vector, skip int) float64 {
 // kernel: a row at most two blocks wide gives the bound check at most
 // one chance to fire, which doesn't repay a function call per row.
 const inlineDistDim = 2 * 8
+
+// dotKernelDim is the row width at or above which ScoreSkip switches
+// from the early-exit subtract-square kernel to the dot-product kernel:
+// at four or more tensor.DotBlock blocks the lane-parallel dot plus
+// norm-based pruning amortizes the one-time probe-norm setup; between
+// inlineDistDim and here the early-exit kernel stays ahead.
+const dotKernelDim = 4 * tensor.DotBlock
 
 // siftUp restores the max-heap property after appending to h.
 func siftUp(h []float64) {

@@ -1,0 +1,39 @@
+package core
+
+import "testing"
+
+// TestProcessBatchMatchesSerial pins the micro-batching contract at the
+// pipeline layer: ProcessBatch over any partition of the stream yields
+// bit-identical outcomes, metrics and deployments to per-frame Process.
+func TestProcessBatchMatchesSerial(t *testing.T) {
+	f := getFixture()
+	stream := append(streamFrames(dayC(), 120, 71), streamFrames(nightC(), 140, 72)...)
+	build := func() *Pipeline {
+		cfg := DefaultPipelineConfig(testDim, testNumClasses)
+		cfg.Provision = quickProvision(41)
+		return NewPipeline(NewRegistry(f.day, f.night), testLabeler, cfg)
+	}
+	ref := build()
+	want := make([]Outcome, 0, len(stream))
+	for _, fr := range stream {
+		want = append(want, ref.Process(fr))
+	}
+	for _, size := range []int{1, 7, 32} {
+		p := build()
+		got := make([]Outcome, 0, len(stream))
+		for at := 0; at < len(stream); at += size {
+			got = append(got, p.ProcessBatch(stream[at:min(at+size, len(stream))])...)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("batch=%d frame %d: outcome %+v, serial %+v", size, i, got[i], want[i])
+			}
+		}
+		if p.Metrics() != ref.Metrics() {
+			t.Errorf("batch=%d: metrics %+v, serial %+v", size, p.Metrics(), ref.Metrics())
+		}
+		if p.Current().Name != ref.Current().Name {
+			t.Errorf("batch=%d: deployed %q, serial %q", size, p.Current().Name, ref.Current().Name)
+		}
+	}
+}

@@ -7,6 +7,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"videodrift/internal/classifier"
 	"videodrift/internal/conformal"
@@ -220,45 +221,80 @@ func (e *ModelEntry) FeatMatrix() *tensor.RefMatrix {
 // models trained after novel drifts are appended; every method is safe
 // for concurrent use. Entries themselves are immutable once provisioned.
 //
+// Reads are lock-free: the entry list lives in an immutable
+// RegistrySnap published through an atomic pointer (copy-on-write), so
+// the per-frame hot path never contends with a concurrent Add. Writers
+// serialize on mu, copy the entry slice, and publish a new snapshot
+// with a bumped epoch — readers holding the old snapshot keep a
+// consistent prefix view, and epoch comparison lets per-shard caches
+// refresh only when the registry actually grew.
+//
 //driftlint:locked
 type Registry struct {
-	mu      sync.RWMutex
+	mu   sync.Mutex // serializes writers; readers go through snap only
+	snap atomic.Pointer[RegistrySnap]
+}
+
+// RegistrySnap is one immutable registry generation: the entry list as
+// of a particular epoch. Neither the snapshot nor its slice is ever
+// mutated after publication; callers may hold or iterate it freely
+// without copying.
+type RegistrySnap struct {
+	epoch   uint64
 	entries []*ModelEntry
 }
 
+// Epoch returns the snapshot's generation counter. It increases by one
+// per Add, so two snapshots with equal epochs hold identical entry
+// lists.
+func (s *RegistrySnap) Epoch() uint64 { return s.epoch }
+
+// Entries returns the snapshot's entry list in insertion order. The
+// slice is the snapshot's own immutable storage — callers must not
+// mutate it.
+func (s *RegistrySnap) Entries() []*ModelEntry { return s.entries }
+
+// Len returns the number of entries in the snapshot.
+func (s *RegistrySnap) Len() int { return len(s.entries) }
+
 // NewRegistry builds a registry from entries.
 func NewRegistry(entries ...*ModelEntry) *Registry {
-	return &Registry{entries: entries}
+	r := &Registry{}
+	r.snap.Store(&RegistrySnap{entries: append([]*ModelEntry(nil), entries...)})
+	return r
 }
 
-// Add appends an entry (e.g. a freshly trained model after a novel drift).
+// Snapshot returns the current registry generation, lock-free. The
+// result is immutable: an Add after the call publishes a NEW snapshot
+// and never mutates outstanding ones.
+func (r *Registry) Snapshot() *RegistrySnap { return r.snap.Load() }
+
+// Add appends an entry (e.g. a freshly trained model after a novel
+// drift) by publishing a copy-on-write snapshot with the epoch bumped.
 func (r *Registry) Add(e *ModelEntry) {
 	r.mu.Lock()
-	r.entries = append(r.entries, e)
-	r.mu.Unlock()
+	defer r.mu.Unlock()
+	cur := r.snap.Load()
+	next := &RegistrySnap{
+		epoch:   cur.epoch + 1,
+		entries: append(append(make([]*ModelEntry, 0, len(cur.entries)+1), cur.entries...), e),
+	}
+	r.snap.Store(next)
 }
 
-// Entries returns a snapshot of the registry's entries in insertion
-// order. The returned slice is the caller's; concurrent Adds do not
-// mutate it.
+// Entries returns a copy of the registry's entries in insertion order.
+// The returned slice is the caller's own; for the allocation-free hot
+// path use Snapshot().Entries() instead.
 func (r *Registry) Entries() []*ModelEntry {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return append([]*ModelEntry(nil), r.entries...)
+	return append([]*ModelEntry(nil), r.Snapshot().entries...)
 }
 
 // Len returns the number of provisioned models.
-func (r *Registry) Len() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return len(r.entries)
-}
+func (r *Registry) Len() int { return len(r.Snapshot().entries) }
 
 // Get returns the entry with the given name, or nil.
 func (r *Registry) Get(name string) *ModelEntry {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	for _, e := range r.entries {
+	for _, e := range r.Snapshot().entries {
 		if e.Name == name {
 			return e
 		}
@@ -268,10 +304,9 @@ func (r *Registry) Get(name string) *ModelEntry {
 
 // Names returns the entry names in insertion order.
 func (r *Registry) Names() []string {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	names := make([]string, len(r.entries))
-	for i, e := range r.entries {
+	entries := r.Snapshot().entries
+	names := make([]string, len(entries))
+	for i, e := range entries {
 		names[i] = e.Name
 	}
 	return names

@@ -150,7 +150,7 @@ func MSBI(window []vidsim.Frame, entries []*ModelEntry, cfg MSBIConfig, rng *sta
 	// order before the fan-out, so traces[i] is the same for any worker
 	// count.
 	traces := make([]*modelTrace, len(entries))
-	pool := parallel.New(cfg.Workers)
+	pool := parallel.Shared(cfg.Workers)
 	pool.ForEachSeeded(len(entries), rng, func(i int, r *stats.RNG) {
 		traces[i] = buildTrace(entries[i], feats, di, r)
 	})

@@ -61,7 +61,7 @@ func CalibrateMSBO(entries []*ModelEntry) MSBOThresholds {
 	// The m×(m−1) cross-scores are independent; compute each model's row
 	// concurrently and fold the results serially in registry order.
 	rows := make([][]float64, len(entries))
-	parallel.New(0).ForEach(len(entries), func(i int) {
+	parallel.Shared(0).ForEach(len(entries), func(i int) {
 		k := entries[i]
 		if k.Ensemble == nil {
 			return
@@ -123,7 +123,7 @@ func MSBO(window []classifier.Sample, entries []*ModelEntry, th MSBOThresholds, 
 	// order so best-candidate ties resolve exactly as a serial scan.
 	briers := make([]float64, len(entries))
 	scored := make([]bool, len(entries))
-	parallel.New(cfg.Workers).ForEach(len(entries), func(i int) {
+	parallel.Shared(cfg.Workers).ForEach(len(entries), func(i int) {
 		if entries[i].Ensemble == nil {
 			return
 		}

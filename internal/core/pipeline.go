@@ -315,11 +315,25 @@ func (p *Pipeline) Process(f vidsim.Frame) Outcome {
 			tr.ModelTrained(e.Name, len(p.buffer))
 			p.metrics.ModelsTrained++
 			p.reg.Add(e)
-			p.th = CalibrateMSBO(p.reg.Entries())
+			p.th = CalibrateMSBO(p.reg.Snapshot().Entries())
 			p.deploy(e)
 			out.SwitchedTo = e.Name
 			out.TrainedNew = true
 		}
+	}
+	return out
+}
+
+// ProcessBatch runs a micro-batch of consecutive frames through the
+// pipeline and returns one outcome per frame. It is exactly equivalent
+// to calling Process on each frame in order — same state evolution,
+// bit-identical outcomes under any batch size — packaged as one call so
+// supervised callers (the sharded monitor) can amortize per-call
+// snapshot and scheduling cost over the batch.
+func (p *Pipeline) ProcessBatch(frames []vidsim.Frame) []Outcome {
+	out := make([]Outcome, len(frames))
+	for i, f := range frames {
+		out[i] = p.Process(f)
 	}
 	return out
 }
@@ -381,10 +395,10 @@ func (p *Pipeline) runSelector() (*ModelEntry, []telemetry.Candidate, int) {
 		for i, f := range p.buffer {
 			labeled[i] = p.current.QuerySample(f, p.labeler(f))
 		}
-		res := MSBO(labeled, p.reg.Entries(), p.th, p.cfg.MSBO)
+		res := MSBO(labeled, p.reg.Snapshot().Entries(), p.th, p.cfg.MSBO)
 		return res.Selected, res.Candidates, res.FramesUsed
 	}
-	res := MSBI(p.buffer, p.reg.Entries(), p.cfg.MSBI, p.rng.Split())
+	res := MSBI(p.buffer, p.reg.Snapshot().Entries(), p.cfg.MSBI, p.rng.Split())
 	return res.Selected, res.Candidates, res.FramesUsed
 }
 

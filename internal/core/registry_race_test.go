@@ -67,3 +67,88 @@ func TestRegistryConcurrentGrowth(t *testing.T) {
 		t.Errorf("snapshot mutated by a later Add: %d entries", len(snap))
 	}
 }
+
+// TestRegistrySnapshotEpochs pins the copy-on-write contract the
+// per-shard entry caches rely on: epochs increase by exactly one per
+// Add, snapshots are immutable prefix-consistent views, and equal
+// epochs mean identical entry lists.
+func TestRegistrySnapshotEpochs(t *testing.T) {
+	f := getFixture()
+	reg := NewRegistry(f.day)
+	s0 := reg.Snapshot()
+	if s0.Epoch() != 0 || s0.Len() != 1 {
+		t.Fatalf("fresh registry snapshot: epoch=%d len=%d, want 0/1", s0.Epoch(), s0.Len())
+	}
+	reg.Add(f.night)
+	s1 := reg.Snapshot()
+	reg.Add(f.rain)
+	s2 := reg.Snapshot()
+	if s1.Epoch() != 1 || s2.Epoch() != 2 {
+		t.Fatalf("epochs after two Adds: %d, %d, want 1, 2", s1.Epoch(), s2.Epoch())
+	}
+	// Prefix stability: every older snapshot is a prefix of every newer
+	// one, entry for entry.
+	for _, pair := range [][2]*RegistrySnap{{s0, s1}, {s1, s2}, {s0, s2}} {
+		old, new := pair[0], pair[1]
+		if old.Len() >= new.Len() {
+			t.Fatalf("older snapshot not shorter: %d vs %d", old.Len(), new.Len())
+		}
+		for i, e := range old.Entries() {
+			if new.Entries()[i] != e {
+				t.Fatalf("entry %d differs between epochs %d and %d", i, old.Epoch(), new.Epoch())
+			}
+		}
+	}
+	// Same-epoch snapshots are the same view.
+	if again := reg.Snapshot(); again.Epoch() != s2.Epoch() || again.Len() != s2.Len() {
+		t.Errorf("re-taken snapshot differs at same epoch: %d/%d vs %d/%d",
+			again.Epoch(), again.Len(), s2.Epoch(), s2.Len())
+	}
+}
+
+// TestRegistrySnapshotConcurrent grows the registry while readers
+// continuously take lock-free snapshots, asserting epoch monotonicity
+// and length consistency under -race.
+func TestRegistrySnapshotConcurrent(t *testing.T) {
+	f := getFixture()
+	reg := NewRegistry(f.day)
+	const readers = 4
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lastEpoch := uint64(0)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := reg.Snapshot()
+				if s.Epoch() < lastEpoch {
+					t.Errorf("epoch went backwards: %d after %d", s.Epoch(), lastEpoch)
+					return
+				}
+				lastEpoch = s.Epoch()
+				if int(s.Epoch()) != s.Len()-1 {
+					t.Errorf("epoch %d inconsistent with %d entries", s.Epoch(), s.Len())
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 16; i++ {
+		if i%2 == 0 {
+			reg.Add(f.night)
+		} else {
+			reg.Add(f.rain)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if got := reg.Snapshot(); got.Epoch() != 16 || got.Len() != 17 {
+		t.Fatalf("final snapshot epoch=%d len=%d, want 16/17", got.Epoch(), got.Len())
+	}
+}

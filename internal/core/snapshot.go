@@ -44,7 +44,7 @@ type PipelineSnapshot struct {
 // keeps processing frames afterwards.
 func (p *Pipeline) Snapshot() PipelineSnapshot {
 	cur := -1
-	for i, e := range p.reg.Entries() {
+	for i, e := range p.reg.Snapshot().Entries() {
 		if e == p.current {
 			cur = i
 			break

@@ -366,3 +366,29 @@ func Restore(s RecorderState, tracer *telemetry.Tracer) (*Recorder, error) {
 		recs:      append([]Declaration(nil), s.Declarations...),
 	}, nil
 }
+
+// Rewind restores the recorder's live state to a snapshot previously
+// captured by State, discarding everything recorded since. The sharded
+// supervisor pairs it with the pipeline snapshot it keeps per batch:
+// when a mid-batch panic restores the pipeline to the batch start and
+// re-runs the batch, the recorder must rewind with it or the re-run
+// would duplicate pre-roll frames and declarations. The state may be
+// rewound to more than once (repeated crashes of one batch); Rewind
+// never aliases its argument's slices. Nil-safe no-op, matching the
+// nil-safe State.
+func (r *Recorder) Rewind(s RecorderState) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.frame = s.Frame
+	r.ring = append(r.ring[:0], s.Ring...)
+	r.base = s.Base
+	r.baseFrame = s.BaseFrame
+	r.mid = s.Mid
+	r.midFrame = s.MidFrame
+	r.haveMid = s.HaveMid
+	r.pending = s.Pending
+	r.recs = append(r.recs[:0], s.Declarations...)
+}

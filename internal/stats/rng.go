@@ -96,6 +96,14 @@ func (g *RNG) Split() *RNG {
 	return NewRNG(g.r.Int63())
 }
 
+// Reseed resets the generator to the exact state of a fresh NewRNG(seed):
+// same value stream, draw counter back at zero. It lets pooled scratch
+// generators (parallel.Pool's per-task children) be reused without
+// reallocating the ~5KB lagged-Fibonacci source on every fan-out.
+func (g *RNG) Reseed(seed int64) {
+	g.src.Seed(seed)
+}
+
 // Float64 returns a uniform sample in [0, 1).
 func (g *RNG) Float64() float64 { return g.r.Float64() }
 

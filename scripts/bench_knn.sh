@@ -6,6 +6,13 @@
 #
 # Usage:  scripts/bench_knn.sh [out.json]
 #   BENCHTIME=200ms COUNT=3 scripts/bench_knn.sh   # quicker / repeated runs
+#   PROFILE=prof scripts/bench_knn.sh              # also capture profiles
+#
+# With PROFILE=<dir>, the run additionally writes cpu.out, mutex.out and
+# block.out pprof profiles (plus the bench.test binary to resolve them)
+# into <dir> — `go tool pprof prof/bench.test prof/cpu.out` shows where
+# the kernel and the pool actually spend their time, and the mutex/block
+# profiles expose any contention the work-stealing pool introduces.
 #
 # Output (default BENCH_knn.json): one entry per benchmark line with the
 # parsed iteration count and every reported metric (ns/op, B/op,
@@ -17,10 +24,24 @@ out="${1:-BENCH_knn.json}"
 benchtime="${BENCHTIME:-1s}"
 count="${COUNT:-1}"
 
+profflags=()
+if [ -n "${PROFILE:-}" ]; then
+	mkdir -p "$PROFILE"
+	profflags=(
+		-cpuprofile "$PROFILE/cpu.out"
+		-mutexprofile "$PROFILE/mutex.out"
+		-blockprofile "$PROFILE/block.out"
+		-o "$PROFILE/bench.test"
+	)
+fi
+
 raw=$(go test -run=NONE \
 	-bench 'KNNScore|DriftInspectorObserve|Featurize$|MSBIParallel|ShardedThroughput' \
-	-benchtime "$benchtime" -count "$count" .)
+	-benchtime "$benchtime" -count "$count" "${profflags[@]}" .)
 printf '%s\n' "$raw" >&2
+if [ -n "${PROFILE:-}" ]; then
+	echo "profiles in $PROFILE: cpu.out mutex.out block.out (resolve with $PROFILE/bench.test)" >&2
+fi
 
 printf '%s\n' "$raw" | awk -v date="$(date -u +%FT%TZ)" '
 /^goos:/   { goos = $2 }

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Bench-regression smoke: re-runs the regression-gated hot-path
+# benchmarks (the kNN kernel fast path and the sharded monitoring
+# fan-out) and fails when any of them lands more than THRESHOLD percent
+# slower than the committed BENCH_knn.json baseline.
+#
+# Usage:  scripts/bench_regress.sh [baseline.json]
+#   THRESHOLD=25 BENCHTIME=300ms COUNT=3 scripts/bench_regress.sh
+#
+# The best (minimum) ns/op across COUNT runs is compared, so transient
+# scheduler noise does not fail the gate; THRESHOLD defaults to 25% —
+# loose enough to absorb machine-to-machine variance on CI runners,
+# tight enough to catch a real kernel or supervisor regression. Faster
+# is always fine: the gate is one-sided. Regenerate the baseline with
+# scripts/bench_knn.sh after an intentional perf change.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline="${1:-BENCH_knn.json}"
+threshold="${THRESHOLD:-25}"
+benchtime="${BENCHTIME:-300ms}"
+count="${COUNT:-3}"
+
+if [ ! -f "$baseline" ]; then
+	echo "bench_regress: baseline $baseline not found (run scripts/bench_knn.sh)" >&2
+	exit 1
+fi
+
+# The gated set: kernel-regime kNN scoring and the sharded fan-out.
+pattern='KNNScore/sigma512x64|ShardedThroughput'
+
+raw=$(go test -run=NONE -bench "$pattern" -benchtime "$benchtime" -count "$count" .)
+printf '%s\n' "$raw" >&2
+
+printf '%s\n' "$raw" | awk -v thr="$threshold" -v baseline="$baseline" '
+BEGIN {
+	# Pull ns_per_op per benchmark out of the committed JSON (one
+	# benchmark object per line; no jq in the image).
+	while ((getline line < baseline) > 0) {
+		if (line !~ /"name":/ || line !~ /"ns_per_op":/) continue
+		name = line; sub(/.*"name":"/, "", name); sub(/".*/, "", name)
+		ns = line; sub(/.*"ns_per_op":/, "", ns); sub(/[,}].*/, "", ns)
+		base[name] = ns + 0
+	}
+}
+/^Benchmark/ {
+	name = $1; sub(/-[0-9]+$/, "", name)
+	if ($4 != "ns/op") next
+	ns = $3 + 0
+	if (!(name in cur) || ns < cur[name]) cur[name] = ns
+	order[name] = ++seen[name] > 1 ? order[name] : ++n
+	names[order[name]] = name
+}
+END {
+	status = 0
+	for (i = 1; i <= n; i++) {
+		name = names[i]
+		if (!(name in base)) {
+			printf "  skip      %-55s no committed baseline\n", name
+			continue
+		}
+		delta = (cur[name] / base[name] - 1) * 100
+		verdict = "ok"
+		if (delta > thr) { verdict = "REGRESSION"; status = 1 }
+		printf "  %-9s %-55s %11.1f ns/op vs %11.1f committed (%+.1f%%)\n",
+			verdict, name, cur[name], base[name], delta
+	}
+	if (n == 0) { print "bench_regress: no benchmark lines parsed"; status = 1 }
+	exit status
+}'

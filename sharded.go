@@ -7,6 +7,7 @@ import (
 
 	"videodrift/internal/core"
 	"videodrift/internal/faults"
+	"videodrift/internal/forensics"
 	"videodrift/internal/parallel"
 )
 
@@ -62,13 +63,16 @@ type ShardedOptions struct {
 // calibration scores, classifier weights — so memory and provisioning
 // cost stay O(models), not O(models × shards).
 //
-// ProcessBatch supervises its shard workers: a panic inside Process is
-// recovered, the shard is restored from its last per-frame snapshot and
-// the same frame is re-fed, so a transient crash is invisible in the
-// shard's event stream. A crash loop (more than MaxRestarts consecutive
-// panics on one frame) trips a circuit breaker: the shard is declared
-// failed and later frames for it are dropped and counted, while the
-// remaining shards keep serving.
+// ProcessBatch and ProcessBatches supervise the shard workers: a panic
+// inside Process is recovered, the shard is restored from its last
+// batch-boundary snapshot and the batch is re-fed, so a transient crash
+// is invisible in the shard's event stream. Supervision is
+// batch-granular — one snapshot per micro-batch, not per frame — which
+// is what makes batching pay: the per-frame snapshot cost of the
+// supervisor is amortized over the batch. A crash loop (more than
+// MaxRestarts consecutive panics on one batch) trips a circuit breaker:
+// the shard is declared failed and later frames for it are dropped and
+// counted, while the remaining shards keep serving.
 type ShardedMonitor struct {
 	shards  []*Monitor
 	states  []*shardState
@@ -86,24 +90,31 @@ type ShardedMonitor struct {
 // the rest is touched only by the shard's worker slot inside
 // ProcessBatch (at most one goroutine per shard at a time).
 type shardState struct {
-	opts    Options // per-shard options (seed-shifted, tracer and fault hooks wired)
-	fed     int     // per-shard stream position (frames attempted)
-	streak  int     // consecutive restarts on the current frame
-	snap    core.PipelineSnapshot
-	entries []*core.ModelEntry
+	opts     Options // per-shard options (seed-shifted, tracer and fault hooks wired)
+	fed      int     // per-shard stream position (frames attempted)
+	streak   int     // consecutive restarts on the current batch
+	snap     core.PipelineSnapshot
+	entries  []*core.ModelEntry
+	regEpoch uint64 // registry epoch entries was cached at
 
 	restarts  atomic.Int64 // total worker restarts
 	dropped   atomic.Int64 // frames discarded after the breaker tripped
 	failed    atomic.Bool  // crash-loop breaker tripped
-	busySince atomic.Int64 // unix-nanos the in-flight frame started; 0 when idle
+	busySince atomic.Int64 // unix-nanos the in-flight batch started; 0 when idle
 }
 
-// save records the shard's post-frame state: the pipeline snapshot plus
-// the registry's entry list (entries are immutable once provisioned, so
-// sharing the pointers is safe).
+// save records the shard's post-batch state: the pipeline snapshot plus
+// the registry's entry list. The entry list is refreshed only when the
+// registry's epoch moved (a new model was trained); the common batch
+// grows no models, so a save is one pipeline snapshot plus an atomic
+// load — not a per-batch slice copy. Snapshot entry lists are immutable
+// once published, so holding the slice without copying is safe.
 func (st *shardState) save(m *Monitor) {
 	st.snap = m.pipe.Snapshot()
-	st.entries = append([]*core.ModelEntry(nil), m.pipe.Registry().Entries()...)
+	if snap := m.pipe.Registry().Snapshot(); st.entries == nil || snap.Epoch() != st.regEpoch {
+		st.entries = snap.Entries()
+		st.regEpoch = snap.Epoch()
+	}
 }
 
 // ShardHealth is the supervisor's live view of one shard.
@@ -172,7 +183,7 @@ func newSharded(n int, labeler Labeler, opts ShardedOptions) *ShardedMonitor {
 	sm := &ShardedMonitor{
 		shards:       make([]*Monitor, n),
 		states:       make([]*shardState, n),
-		pool:         parallel.New(opts.Workers),
+		pool:         parallel.Shared(opts.Workers),
 		labeler:      labeler,
 		faults:       opts.Faults,
 		maxRestarts:  opts.MaxRestarts,
@@ -216,71 +227,122 @@ func (sm *ShardedMonitor) Shard(i int) *Monitor { return sm.shards[i] }
 // must equal Shards. The fan-out is bounded by Workers; each shard's
 // event stream is identical to feeding its Monitor serially. A failed
 // shard (breaker tripped) yields zero Events and counts the frames it
-// drops in Health().Shards[i].DroppedFrames.
+// drops in Health().Shards[i].DroppedFrames. It is the batch-size-1
+// case of ProcessBatches.
 func (sm *ShardedMonitor) ProcessBatch(frames []Frame) []Event {
 	if len(frames) != len(sm.shards) {
 		panic(fmt.Sprintf("videodrift: ProcessBatch with %d frames for %d shards", len(frames), len(sm.shards)))
 	}
 	events := make([]Event, len(frames))
 	sm.pool.ForEach(len(frames), func(i int) {
-		events[i] = sm.processShard(i, frames[i])
+		sm.processShardBatch(i, frames[i:i+1:i+1], events[i:i+1])
 	})
 	return events
 }
 
-// processShard feeds one frame to shard i under supervision: injected
-// worker faults fire first, a panic is recovered and the shard restored
-// from its last snapshot (re-feeding the same frame), and a crash loop
-// trips the breaker.
-func (sm *ShardedMonitor) processShard(i int, f Frame) Event {
+// ProcessBatches runs a micro-batch of consecutive frames per shard
+// concurrently: batches[i] goes to shard i in order, and events[i][j]
+// reports what shard i did with batches[i][j]. len(batches) must equal
+// Shards; batches may be ragged or empty (shards need not advance in
+// lockstep within one call). Each shard's event stream is bit-identical
+// to feeding its Monitor serially, under any batch size and worker
+// count — batching only amortizes the supervisor's per-call snapshot
+// over the batch. A panic anywhere in a shard's batch restores the
+// shard to the batch start (pipeline snapshot plus forensics rewind)
+// and re-runs the whole batch; a crash loop trips the breaker and drops
+// the batch.
+func (sm *ShardedMonitor) ProcessBatches(batches [][]Frame) [][]Event {
+	if len(batches) != len(sm.shards) {
+		panic(fmt.Sprintf("videodrift: ProcessBatches with %d batches for %d shards", len(batches), len(sm.shards)))
+	}
+	events := make([][]Event, len(batches))
+	for i, b := range batches {
+		if len(b) > 0 {
+			events[i] = make([]Event, len(b))
+		}
+	}
+	sm.pool.ForEach(len(batches), func(i int) {
+		if len(batches[i]) > 0 {
+			sm.processShardBatch(i, batches[i], events[i])
+		}
+	})
+	return events
+}
+
+// processShardBatch feeds one shard a run of consecutive frames under
+// supervision: injected worker faults fire before each frame, a panic
+// is recovered and the shard restored to the batch start (re-running
+// the batch), and a crash loop trips the breaker. events is filled
+// frame by frame; on failure it is zeroed so partial results never
+// leak.
+func (sm *ShardedMonitor) processShardBatch(i int, frames []Frame, events []Event) {
 	st := sm.states[i]
-	frame := st.fed
-	st.fed++
+	start := st.fed
+	st.fed += len(frames)
 	if st.failed.Load() {
-		st.dropped.Add(1)
-		return Event{}
+		st.dropped.Add(int64(len(frames)))
+		return
+	}
+	// A mid-batch panic rolls the pipeline back to the batch start, so
+	// the forensics recorder must rewind with it or the re-run would
+	// duplicate pre-roll frames. At batch size 1 the panicking frame was
+	// never recorded (Record runs after Process returns), so there is
+	// nothing to rewind — and nothing to pay for on the per-frame path.
+	var recMark forensics.RecorderState
+	if len(frames) > 1 {
+		recMark = sm.shards[i].rec.State()
 	}
 	st.busySince.Store(sm.clock().UnixNano())
 	defer st.busySince.Store(0)
 	for {
-		ev, panicked, reason := sm.attempt(i, frame, f)
+		panicked, reason := sm.attemptBatch(i, start, frames, events)
 		if !panicked {
 			st.streak = 0
 			st.save(sm.shards[i])
-			return ev
+			return
 		}
 		tr := sm.shards[i].Telemetry()
 		st.streak++
 		if st.streak > sm.maxRestarts {
 			st.failed.Store(true)
-			st.dropped.Add(1)
+			st.dropped.Add(int64(len(frames)))
 			tr.HealthChanged(HealthFailed,
 				fmt.Sprintf("shard %d crash loop: %d consecutive panics (%s)", i, st.streak, reason))
-			return Event{}
+			clear(events)
+			return
 		}
 		st.restarts.Add(1)
 		tr.WorkerRestarted(i, st.streak, reason)
 		if err := sm.restore(i); err != nil {
 			st.failed.Store(true)
-			st.dropped.Add(1)
+			st.dropped.Add(int64(len(frames)))
 			tr.HealthChanged(HealthFailed, fmt.Sprintf("shard %d restore failed: %v", i, err))
-			return Event{}
+			clear(events)
+			return
+		}
+		if len(frames) > 1 {
+			sm.shards[i].rec.Rewind(recMark)
 		}
 	}
 }
 
-// attempt runs one supervised Process call, converting any panic —
-// injected or real — into a recoverable verdict.
-func (sm *ShardedMonitor) attempt(shard, frame int, f Frame) (ev Event, panicked bool, reason string) {
+// attemptBatch runs one supervised pass over a shard's batch,
+// converting any panic — injected or real — into a recoverable verdict.
+// Worker faults are keyed by absolute stream index (start+j), so a
+// deterministic fault schedule lands on the same frames regardless of
+// how the stream is batched.
+func (sm *ShardedMonitor) attemptBatch(shard, start int, frames []Frame, events []Event) (panicked bool, reason string) {
 	defer func() {
 		if r := recover(); r != nil {
 			panicked = true
 			reason = fmt.Sprint(r)
 		}
 	}()
-	sm.faults.BeforeProcess(shard, frame)
-	ev = sm.shards[shard].Process(f)
-	return ev, false, ""
+	for j := range frames {
+		sm.faults.BeforeProcess(shard, start+j)
+		events[j] = sm.shards[shard].Process(frames[j])
+	}
+	return false, ""
 }
 
 // restore rebuilds shard i's pipeline from its last snapshot, exactly as
@@ -294,12 +356,16 @@ func (sm *ShardedMonitor) restore(i int) error {
 	if st.opts.Tracer != nil {
 		cfg.Tracer = st.opts.Tracer
 	}
-	reg := core.NewRegistry(append([]*core.ModelEntry(nil), st.entries...)...)
+	reg := core.NewRegistry(st.entries...) // NewRegistry copies the slice
 	pipe, err := core.RestorePipeline(reg, sm.labeler, cfg, st.snap)
 	if err != nil {
 		return err
 	}
 	sm.shards[i].pipe = pipe
+	// The rebuilt registry restarts its epoch counter with st.entries as
+	// its epoch-0 snapshot; re-sync the cache so a later Add on the new
+	// registry is not masked by an epoch collision with the old one.
+	st.regEpoch = 0
 	return nil
 }
 
@@ -337,6 +403,68 @@ func (sm *ShardedMonitor) Health() ShardedHealth {
 
 // ShardStats returns shard i's metrics.
 func (sm *ShardedMonitor) ShardStats(i int) Metrics { return sm.shards[i].Stats() }
+
+// Batcher accumulates per-shard frames and flushes them into a
+// ShardedMonitor as micro-batches, amortizing the supervisor's
+// per-call snapshot cost when frames arrive one at a time. The flush
+// policy is purely count-based — a flush fires when any shard's queue
+// reaches the batch size, or on an explicit Flush — never wall-clock
+// based, so a batched run's event stream is bit-identical to the
+// unbatched one regardless of arrival timing. A Batcher is not safe for
+// concurrent use; feed it from the same goroutine that would otherwise
+// call ProcessBatch.
+type Batcher struct {
+	sm     *ShardedMonitor
+	size   int
+	queues [][]Frame
+}
+
+// NewBatcher returns a batcher flushing size frames per shard at a time
+// (size <= 1 degenerates to flushing on every Add — per-frame
+// supervision).
+func (sm *ShardedMonitor) NewBatcher(size int) *Batcher {
+	if size < 1 {
+		size = 1
+	}
+	return &Batcher{sm: sm, size: size, queues: make([][]Frame, sm.Shards())}
+}
+
+// Add queues one frame for a shard. When the shard's queue reaches the
+// batch size every queued frame is flushed, returning the per-shard
+// events (indexed by shard, in enqueue order); otherwise Add returns
+// nil.
+func (b *Batcher) Add(shard int, f Frame) [][]Event {
+	b.queues[shard] = append(b.queues[shard], f)
+	if len(b.queues[shard]) >= b.size {
+		return b.Flush()
+	}
+	return nil
+}
+
+// Queued reports how many frames shard i currently has waiting.
+func (b *Batcher) Queued(shard int) int { return len(b.queues[shard]) }
+
+// Flush drains every queue through ProcessBatches and returns the
+// per-shard events, or nil when nothing is queued. Call it at
+// end-of-stream (or from an external cadence the caller owns) so tail
+// frames are not held back.
+func (b *Batcher) Flush() [][]Event {
+	queued := false
+	for _, q := range b.queues {
+		if len(q) > 0 {
+			queued = true
+			break
+		}
+	}
+	if !queued {
+		return nil
+	}
+	events := b.sm.ProcessBatches(b.queues)
+	for i := range b.queues {
+		b.queues[i] = b.queues[i][:0]
+	}
+	return events
+}
 
 // Stats aggregates metrics across all shards.
 func (sm *ShardedMonitor) Stats() Metrics {
