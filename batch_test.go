@@ -60,7 +60,7 @@ func TestShardedBatchedMatchesSerial(t *testing.T) {
 				for s := range streams {
 					batches[s] = streams[s][at:end]
 				}
-				for s, evs := range sm.ProcessBatches(batches) {
+				for s, evs := range mustBatches(sm, batches) {
 					got[s] = append(got[s], evs...)
 				}
 			}
@@ -102,7 +102,14 @@ func TestShardedBatcher(t *testing.T) {
 		Options: opts, Shards: len(streams), Workers: 2,
 	})
 	b := sm.NewBatcher(size)
-	if b.Flush() != nil {
+	mustFlush := func(evs [][]Event, err error) [][]Event {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return evs
+	}
+	if mustFlush(b.Flush()) != nil {
 		t.Fatal("Flush on an empty batcher returned events")
 	}
 	got := make([][]Event, len(streams))
@@ -116,7 +123,7 @@ func TestShardedBatcher(t *testing.T) {
 	for step := 0; step < n; step++ {
 		for s := range streams {
 			before := b.Queued(s)
-			flushed := b.Add(s, streams[s][step])
+			flushed := mustFlush(b.Add(s, streams[s][step]))
 			// The policy is count-based: a flush fires exactly when the
 			// adding shard's queue reaches the batch size, draining every
 			// queue (the others may be shorter — flushes are ragged).
@@ -133,7 +140,7 @@ func TestShardedBatcher(t *testing.T) {
 	if n%size != 0 && b.Queued(0) == 0 {
 		t.Fatal("expected a ragged tail left queued before the final Flush")
 	}
-	collect(b.Flush())
+	collect(mustFlush(b.Flush()))
 	if b.Queued(0) != 0 {
 		t.Fatal("Flush left frames queued")
 	}
@@ -185,7 +192,7 @@ func TestChaosBatchedEquivalence(t *testing.T) {
 		for s := range streams {
 			batches[s] = streams[s][at:end]
 		}
-		for s, evs := range sm.ProcessBatches(batches) {
+		for s, evs := range mustBatches(sm, batches) {
 			got[s] = append(got[s], evs...)
 		}
 	}

@@ -420,7 +420,7 @@ func BenchmarkShardedThroughput(b *testing.B) {
 				for s := range batch {
 					batch[s] = frames[(i+s)%len(frames)]
 				}
-				sm.ProcessBatch(batch)
+				mustBatch(sm, batch)
 			}
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*shards), "ns/frame")
 		})
@@ -454,7 +454,7 @@ func BenchmarkShardedThroughputBatched(b *testing.B) {
 						batches[s][j] = frames[(i*size+j+s)%len(frames)]
 					}
 				}
-				sm.ProcessBatches(batches)
+				mustBatches(sm, batches)
 			}
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*shards*size), "ns/frame")
 		})

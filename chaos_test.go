@@ -293,14 +293,14 @@ func TestChaosStallWatchdog(t *testing.T) {
 	})
 	stream := driftStream(10, 5, 881)
 	for j := 0; j < stallAt; j++ {
-		sm.ProcessBatch([]Frame{stream[j]})
+		mustBatch(sm, []Frame{stream[j]})
 	}
 	if h := sm.Health(); h.Stalled || !h.Serving() {
 		t.Fatalf("health before stall = %+v", h)
 	}
 
 	done := make(chan []Event)
-	go func() { done <- sm.ProcessBatch([]Frame{stream[stallAt]}) }()
+	go func() { done <- mustBatch(sm, []Frame{stream[stallAt]}) }()
 	<-entered
 	nanos.Add(int64(5 * time.Second))
 	h := sm.Health()
@@ -401,7 +401,7 @@ func TestChaosTrainingFailureRecovery(t *testing.T) {
 	stream := driftStream(total, 60, 71)
 	sawDegraded := false
 	for _, f := range stream {
-		sm.ProcessBatch([]Frame{f})
+		mustBatch(sm, []Frame{f})
 		if tracers[0].Health() == HealthDegraded {
 			sawDegraded = true
 		}

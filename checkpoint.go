@@ -120,11 +120,20 @@ func resumeShard(cp *Checkpoint, i int, labeler Labeler, opts Options) (*Monitor
 // Checkpoint captures every shard's state plus the shared model table.
 // Models shared between shards (the provisioned set, and any entry added
 // to several registries) are stored once and restored shared. Do not
-// call concurrently with ProcessBatch.
+// call concurrently with ProcessBatch. Detached slots of a dynamic
+// fleet are skipped: the checkpoint holds the attached shards
+// compacted in slot order (each shard's full runtime state — including
+// its RNG streams — lives in its pipeline snapshot, so compaction does
+// not disturb replay; only the slot numbering resets).
 func (sm *ShardedMonitor) Checkpoint() *Checkpoint {
+	sm.mu.RLock()
+	defer sm.mu.RUnlock()
 	seen := make(map[*Model]int)
 	cp := &Checkpoint{CreatedUnixNano: time.Now().UnixNano()}
 	for _, m := range sm.shards {
+		if m == nil {
+			continue
+		}
 		entries := m.pipe.Registry().Entries()
 		refs := make([]int, len(entries))
 		for j, e := range entries {
@@ -166,6 +175,7 @@ func ResumeSharded(cp *Checkpoint, labeler Labeler, opts ShardedOptions) (*Shard
 		return nil, fmt.Errorf("videodrift: %d tracers for %d shards", len(opts.Tracers), n)
 	}
 	sm := newSharded(n, labeler, opts)
+	sm.baseModels = cp.Entries // dynamic Attach reuses the shared table
 	// Warm the shared feature matrices once, as NewShardedMonitor does.
 	for _, e := range cp.Entries {
 		e.FeatMatrix()

@@ -33,6 +33,25 @@ func driftStream(total, driftAt int, seed int64) []Frame {
 		vidsim.GenerateTrainingStride(facadeCond(vidsim.Night()), 16, 16, total-driftAt, 1, seed+1000)...)
 }
 
+// mustBatch feeds one frame per shard; a batch-shape error is a fixture
+// bug in these fixed-fleet tests, so it panics.
+func mustBatch(sm *ShardedMonitor, frames []Frame) []Event {
+	evs, err := sm.ProcessBatch(frames)
+	if err != nil {
+		panic(err)
+	}
+	return evs
+}
+
+// mustBatches is mustBatch for per-shard micro-batches.
+func mustBatches(sm *ShardedMonitor, batches [][]Frame) [][]Event {
+	evs, err := sm.ProcessBatches(batches)
+	if err != nil {
+		panic(err)
+	}
+	return evs
+}
+
 // runBatches feeds streams[s][from:to] to shard s and collects the
 // per-shard events.
 func runBatches(sm *ShardedMonitor, streams [][]Frame, from, to int) [][]Event {
@@ -42,7 +61,7 @@ func runBatches(sm *ShardedMonitor, streams [][]Frame, from, to int) [][]Event {
 		for s := range streams {
 			batch[s] = streams[s][step]
 		}
-		for s, ev := range sm.ProcessBatch(batch) {
+		for s, ev := range mustBatch(sm, batch) {
 			out[s] = append(out[s], ev)
 		}
 	}

@@ -1,0 +1,197 @@
+// Command driftfeed replays synthetic dataset streams to a driftserve
+// network-ingestion endpoint — the load generator and reference client
+// for the wire protocol. Each tenant is one independent camera stream
+// (its own seed schedule, so tenants drift at different times) driven
+// by one connection with exactly-once delivery: frames are resent
+// across reconnects, corruption NACKs and backpressure until acked.
+//
+// Usage:
+//
+//	driftfeed [-addr localhost:9091] [-dataset bdd|detrac|tokyo|slow]
+//	          [-scale 0.02] [-tenants 2] [-frames 200] [-prefix cam]
+//	          [-http url] [-net-faults seed] [-v]
+//
+// With -http the frames go through driftserve's HTTP POST /ingest
+// fallback instead of raw TCP (e.g. -http http://localhost:9090/ingest).
+//
+// With -net-faults a seeded wire-fault schedule is replayed against
+// each tenant's transmissions: corrupted payload bytes (rejected by
+// the server's CRC check and resent) and torn writes (the connection
+// drops mid-message and the client reconnects and resends). The
+// delivered stream is identical to a clean run's — the faults cost
+// retries, never frames.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"videodrift/internal/dataset"
+	"videodrift/internal/faults"
+	"videodrift/internal/ingest"
+	"videodrift/internal/vidsim"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:9091", "driftserve -ingest-addr to feed (TCP wire protocol)")
+	httpURL := flag.String("http", "", "feed via HTTP POST to this URL instead of raw TCP (e.g. http://localhost:9090/ingest)")
+	dsName := flag.String("dataset", "bdd", "stream to replay: bdd, detrac, tokyo, slow")
+	scale := flag.Float64("scale", 0.02, "dataset stream scale (1.0 = paper sizes)")
+	tenants := flag.Int("tenants", 2, "concurrent tenant streams")
+	frames := flag.Int("frames", 200, "frames to deliver per tenant")
+	prefix := flag.String("prefix", "cam", "tenant id prefix (tenants are <prefix>-0 .. <prefix>-N-1)")
+	netFaults := flag.Int64("net-faults", 0, "replay a seeded wire-fault schedule per tenant: corrupt bytes, torn writes (0 = clean)")
+	verbose := flag.Bool("v", false, "log per-tenant progress")
+	flag.Parse()
+
+	if *tenants < 1 || *frames < 1 {
+		fmt.Fprintln(os.Stderr, "driftfeed: -tenants and -frames must be >= 1")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var ds *dataset.Dataset
+	switch *dsName {
+	case "bdd":
+		ds = dataset.BDD(*scale)
+	case "detrac":
+		ds = dataset.Detrac(*scale)
+	case "tokyo":
+		ds = dataset.Tokyo(*scale)
+	case "slow":
+		ds = dataset.SlowDrift(*scale)
+	default:
+		log.Fatalf("unknown dataset %q", *dsName)
+	}
+
+	type result struct {
+		tenant string
+		stats  ingest.ClientStats
+		sent   int
+		err    error
+	}
+	results := make([]result, *tenants)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < *tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tenant := *prefix + "-" + strconv.Itoa(i)
+			results[i].tenant = tenant
+			// The same per-stream seed schedule driftserve's self-feed
+			// uses, so tenant i's stream matches self-driven shard i.
+			tenantDS := *ds
+			tenantDS.Seed = ds.Seed + int64(i)*104729
+			stream := tenantDS.Stream()
+
+			var inj *faults.NetInjector
+			if *netFaults != 0 {
+				inj = faults.NewNetInjector(faults.GenerateNet(
+					*netFaults+int64(i), *frames*2, 0.02, 0.01))
+			}
+			if *httpURL != "" {
+				results[i].sent, results[i].err = feedHTTP(*httpURL, tenant, stream, *frames, *verbose)
+				return
+			}
+			c, err := ingest.Dial(ingest.ClientConfig{
+				Addr:    *addr,
+				Tenant:  tenant,
+				TxFault: inj.Tx,
+			})
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			defer c.Close()
+			for n := 0; n < *frames; n++ {
+				f, ok := stream.Next()
+				if !ok {
+					stream = tenantDS.Stream() // loop the dataset
+					f, _ = stream.Next()
+				}
+				if err := c.Send(f); err != nil {
+					results[i].stats = c.Stats()
+					results[i].sent = n
+					results[i].err = err
+					return
+				}
+				results[i].sent = n + 1
+				if *verbose && (n+1)%100 == 0 {
+					fmt.Fprintf(os.Stderr, "%s: %d/%d frames acked\n", tenant, n+1, *frames)
+				}
+			}
+			results[i].stats = c.Stats()
+		}(i)
+	}
+	wg.Wait()
+
+	elapsed := time.Since(start)
+	failed := 0
+	delivered := 0
+	for _, r := range results {
+		delivered += r.sent
+		if r.err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "driftfeed: tenant %s failed after %d frames: %v\n", r.tenant, r.sent, r.err)
+			continue
+		}
+		fmt.Printf("tenant %s: delivered %d, sent %d, acked %d, dups %d, nacks %d, retries %d, reconnects %d\n",
+			r.tenant, r.sent, r.stats.Sent, r.stats.Acked, r.stats.Dups, r.stats.Nacks, r.stats.Retries, r.stats.Reconnects)
+	}
+	fmt.Printf("driftfeed: %d tenants, %d frames delivered in %v, %d failed\n",
+		*tenants, delivered, elapsed.Round(time.Millisecond), failed)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// feedHTTP delivers one tenant's frames through the HTTP POST
+// fallback, honoring Retry-After on backpressure.
+func feedHTTP(url, tenant string, stream *vidsim.Stream, frames int, verbose bool) (int, error) {
+	seq := uint64(0)
+	for n := 0; n < frames; n++ {
+		f, ok := stream.Next()
+		if !ok {
+			return n, fmt.Errorf("stream exhausted at frame %d", n)
+		}
+		wire := ingest.EncodeFrame(ingest.MsgFromFrame(tenant, seq, f))
+		for attempt := 0; ; attempt++ {
+			if attempt > 300 {
+				return n, fmt.Errorf("frame seq %d: retry budget exhausted", seq)
+			}
+			resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(wire))
+			if err != nil {
+				return n, err
+			}
+			var body map[string]interface{}
+			json.NewDecoder(resp.Body).Decode(&body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+			if ra := resp.Header.Get("Retry-After"); ra != "" &&
+				(resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable) {
+				secs, _ := strconv.Atoi(ra)
+				if secs < 1 {
+					secs = 1
+				}
+				time.Sleep(time.Duration(secs) * time.Second)
+				continue
+			}
+			return n, fmt.Errorf("frame seq %d: HTTP %d (%v)", seq, resp.StatusCode, body)
+		}
+		seq++
+		if verbose && (n+1)%100 == 0 {
+			fmt.Fprintf(os.Stderr, "%s: %d/%d frames accepted over HTTP\n", tenant, n+1, frames)
+		}
+	}
+	return frames, nil
+}

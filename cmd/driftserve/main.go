@@ -32,6 +32,9 @@
 //	           breaker has tripped, a worker is wedged past the stall
 //	           timeout, or checkpointing is enabled and the last
 //	           checkpoint is more than 3 intervals old.
+//	/ingest    (ingest mode) the HTTP POST fallback of the wire
+//	           protocol: the body is one complete frame message,
+//	           verdicts map to 200/400/409/429/503
 //	/debug/pprof/…  the standard net/http/pprof profiles
 //
 // Usage:
@@ -41,10 +44,22 @@
 //	           [-batch 1] [-fps 240] [-frames 0] [-ring 4096] [-perframe] [-v]
 //	           [-state-dir dir] [-checkpoint-every 30s]
 //	           [-chaos seed] [-stall-timeout 10s]
+//	           [-ingest-addr host:port] [-max-tenants 64] [-tenant-queue 256]
+//	           [-idle-evict 2m]
 //
 // Streams loop forever (a fresh seed per lap keeps drifts coming) unless
 // -frames bounds the total; -fps throttles each shard's rate (0 runs
 // unthrottled).
+//
+// With -ingest-addr the synthetic self-feed is replaced by the network
+// ingestion tier (internal/ingest): external tenants connect over the
+// length-prefixed binary wire protocol (or POST to /ingest), each
+// tenant's first frame attaches a shard over the shared models, frames
+// flow through per-tenant bounded queues with explicit backpressure
+// NACKs, and tenants idle past -idle-evict detach to free their shard.
+// /healthz gains a per-tenant "ingest" section and /metrics the
+// ingest_* series; `drifttool health <addr>` renders both. Feed it with
+// cmd/driftfeed. Ingest mode excludes -state-dir and -chaos.
 //
 // With -chaos, a seeded fault schedule is replayed against the run:
 // pixel corruption (quarantined at the admission gate), injected worker
@@ -76,6 +91,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -92,6 +109,7 @@ import (
 	"videodrift/internal/dataset"
 	"videodrift/internal/experiments"
 	"videodrift/internal/faults"
+	"videodrift/internal/ingest"
 	"videodrift/internal/query"
 	"videodrift/internal/telemetry"
 	"videodrift/internal/vidsim"
@@ -120,7 +138,54 @@ func main() {
 	chaosSeed := flag.Int64("chaos", 0, "replay a seeded fault schedule: pixel corruption, worker panics, training failures (0 = off)")
 	stallTimeout := flag.Duration("stall-timeout", 10*time.Second, "how long a shard may sit on one frame before /healthz reports it stalled")
 	forensicsOn := flag.Bool("forensics", true, "record drift declarations with replayable pre-rolls for /drift and checkpoints")
+	ingestAddr := flag.String("ingest-addr", "", "TCP listen address for the network ingestion tier; replaces the synthetic self-feed (also serves HTTP POST /ingest)")
+	maxTenants := flag.Int("max-tenants", 64, "max concurrently attached ingestion tenants (needs -ingest-addr)")
+	tenantQueue := flag.Int("tenant-queue", 256, "per-tenant bounded ingestion queue capacity (needs -ingest-addr)")
+	idleEvict := flag.Duration("idle-evict", 2*time.Minute, "detach ingestion tenants idle this long, freeing their shard (0 = never; needs -ingest-addr)")
 	flag.Parse()
+
+	// Flag validation: a bad value dies here with a usage error, not as
+	// undefined behavior deep in the pipeline.
+	usageErr := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "driftserve: "+format+"\n\n", args...)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *shards < 1 {
+		usageErr("-shards must be >= 1, got %d", *shards)
+	}
+	if *batchN < 1 {
+		usageErr("-batch must be >= 1, got %d", *batchN)
+	}
+	if *ring < 1 {
+		usageErr("-ring must be >= 1, got %d", *ring)
+	}
+	if *fps < 0 || math.IsNaN(*fps) || math.IsInf(*fps, 0) {
+		usageErr("-fps must be a finite rate >= 0, got %v", *fps)
+	}
+	if *frames < 0 {
+		usageErr("-frames must be >= 0, got %d", *frames)
+	}
+	if *train < 1 {
+		usageErr("-train must be >= 1, got %d", *train)
+	}
+	if *ingestAddr != "" {
+		if *stateDir != "" {
+			usageErr("-state-dir does not combine with -ingest-addr: a dynamic tenant fleet has no warm-restart path yet")
+		}
+		if *chaosSeed != 0 {
+			usageErr("-chaos drives the synthetic self-feed; with -ingest-addr, inject network faults from the driftfeed side")
+		}
+		if *maxTenants < 1 {
+			usageErr("-max-tenants must be >= 1, got %d", *maxTenants)
+		}
+		if *tenantQueue < 1 {
+			usageErr("-tenant-queue must be >= 1, got %d", *tenantQueue)
+		}
+		if *idleEvict < 0 {
+			usageErr("-idle-evict must be >= 0, got %v", *idleEvict)
+		}
+	}
 
 	var ds *dataset.Dataset
 	switch *dsName {
@@ -139,13 +204,6 @@ func main() {
 	if *selector == "msbi" {
 		sel = core.SelectorMSBI
 	}
-	if *shards < 1 {
-		log.Fatalf("-shards must be >= 1, got %d", *shards)
-	}
-	if *batchN < 1 {
-		log.Fatalf("-batch must be >= 1, got %d", *batchN)
-	}
-
 	cfg := experiments.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.TrainFrames = *train
@@ -190,8 +248,14 @@ func main() {
 	}
 
 	// One tracer per shard so each stream's drift history and latency
-	// distribution stay separable; shard 0 is the default view.
-	tracers := make([]*telemetry.Tracer, *shards)
+	// distribution stay separable; shard 0 is the default view. In
+	// ingest mode slots appear dynamically, so there is one base tracer
+	// and every tenant gets its own at attach time.
+	nTracers := *shards
+	if *ingestAddr != "" {
+		nTracers = 1
+	}
+	tracers := make([]*telemetry.Tracer, nTracers)
 	for i := range tracers {
 		tracers[i] = telemetry.New(telemetry.Config{RingSize: *ring, PerFrame: *perFrame})
 	}
@@ -227,13 +291,21 @@ func main() {
 		StallTimeout: *stallTimeout,
 	}
 	var mon *videodrift.ShardedMonitor
-	if cp != nil {
+	switch {
+	case *ingestAddr != "":
+		// The ingestion tier owns the tenant↔slot lifecycle: the fleet
+		// starts empty and shards attach on each tenant's first frame.
+		sopts.Shards = 0
+		sopts.Tracers = nil
+		sopts.Options.Tracer = tracers[0]
+		mon = videodrift.NewDynamicSharded(env.Registry.Entries(), env.Labeler(), sopts)
+	case cp != nil:
 		var err error
 		mon, err = videodrift.ResumeSharded(cp, env.Labeler(), sopts)
 		if err != nil {
 			log.Fatalf("resuming from checkpoint: %v", err)
 		}
-	} else {
+	default:
 		mon = videodrift.NewShardedMonitor(env.Registry.Entries(), env.Labeler(), sopts)
 	}
 
@@ -248,109 +320,158 @@ func main() {
 	ckptReq := make(chan chan *videodrift.Checkpoint)
 	streamDone := make(chan struct{})
 
-	go func() {
-		defer close(streamDone)
-		defer done.Store(true)
-		var throttle *time.Ticker
-		if *fps > 0 {
-			throttle = time.NewTicker(time.Duration(float64(time.Second) / *fps))
-			defer throttle.Stop()
+	// With -ingest-addr, frames come off the network: the TCP wire
+	// server accepts tenant streams, the router queues them with
+	// backpressure, and a pump goroutine drains the queues through the
+	// fleet on a steady cadence. Without it, the classic synthetic
+	// self-feed drives the fleet.
+	var router *ingest.Router
+	var isrv *ingest.Server
+	if *ingestAddr != "" {
+		router = ingest.NewRouter(mon, ingest.Config{
+			MaxTenants: *maxTenants,
+			QueueCap:   *tenantQueue,
+			BatchSize:  *batchN,
+			IdleEvict:  *idleEvict,
+			NewTracer: func(tenant string) *telemetry.Tracer {
+				return telemetry.New(telemetry.Config{RingSize: *ring, PerFrame: *perFrame})
+			},
+		})
+		isrv = ingest.NewServer(router, ingest.ServerConfig{Logf: log.Printf})
+		ln, err := net.Listen("tcp", *ingestAddr)
+		if err != nil {
+			log.Fatalf("ingest listen: %v", err)
 		}
-		// Each shard loops its own copy of the dataset on an independent
-		// lap-seed schedule, so the shards drift at different times — the
-		// realistic multi-camera load. All shards advance in lockstep, one
-		// frame per shard per batch.
-		streams := make([]*vidsim.Stream, *shards)
-		laps := make([]int, *shards)
-		newStream := func(s, lap int) *vidsim.Stream {
-			lapDS := *ds
-			lapDS.Seed = ds.Seed + int64(s)*104729 + int64(lap)*7907
-			stream := lapDS.Stream()
-			if *verbose {
-				fmt.Fprintf(os.Stderr, "shard %d lap %d: %d frames, ground-truth drifts at %v\n",
-					s, lap, stream.TotalLength(), stream.DriftPoints())
+		fmt.Fprintf(os.Stderr, "ingesting frames on %s (wire protocol over TCP; HTTP fallback at POST /ingest)\n", ln.Addr())
+		go func() {
+			if err := isrv.Serve(ln); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Fatalf("ingest serve: %v", err)
 			}
-			return stream
-		}
-		for s := range streams {
-			streams[s] = newStream(s, 0)
-			// After a warm restart, fast-forward to where the shard left
-			// off: the lap-seed schedule is deterministic, so regenerating
-			// and discarding the already-processed frames lands the stream
-			// on exactly the frame the interrupted run would have seen next.
-			for skip := mon.Shard(s).Stats().Frames; skip > 0; skip-- {
-				if _, ok := streams[s].Next(); !ok {
-					laps[s]++
-					streams[s] = newStream(s, laps[s])
-					skip++ // this iteration consumed no frame
+		}()
+		go func() {
+			tick := time.NewTicker(2 * time.Millisecond)
+			defer tick.Stop()
+			for range tick.C {
+				n, err := router.Pump()
+				if err != nil {
+					log.Printf("ingest pump: %v", err)
 				}
+				processed.Add(int64(n))
 			}
-		}
-		// Frames accumulate into per-shard micro-batches of -batch frames
-		// and reach the supervisor in one ProcessBatches call; -batch 1 is
-		// the classic lockstep one-frame-per-shard cadence. The chaos and
-		// lap-seed schedules key on the per-shard stream index, so batching
-		// never moves a fault or a drift.
-		batches := make([][]vidsim.Frame, *shards)
-		for step := 0; ; {
-			select {
-			case reply := <-ckptReq:
-				reply <- mon.Checkpoint()
-			default:
+		}()
+		defer isrv.Close()
+	}
+
+	if *ingestAddr == "" {
+		go func() {
+			defer close(streamDone)
+			defer done.Store(true)
+			var throttle *time.Ticker
+			if *fps > 0 {
+				throttle = time.NewTicker(time.Duration(float64(time.Second) / *fps))
+				defer throttle.Stop()
 			}
-			for s := range batches {
-				batches[s] = batches[s][:0]
+			// Each shard loops its own copy of the dataset on an independent
+			// lap-seed schedule, so the shards drift at different times — the
+			// realistic multi-camera load. All shards advance in lockstep, one
+			// frame per shard per batch.
+			streams := make([]*vidsim.Stream, *shards)
+			laps := make([]int, *shards)
+			newStream := func(s, lap int) *vidsim.Stream {
+				lapDS := *ds
+				lapDS.Seed = ds.Seed + int64(s)*104729 + int64(lap)*7907
+				stream := lapDS.Stream()
+				if *verbose {
+					fmt.Fprintf(os.Stderr, "shard %d lap %d: %d frames, ground-truth drifts at %v\n",
+						s, lap, stream.TotalLength(), stream.DriftPoints())
+				}
+				return stream
 			}
-			for b := 0; b < *batchN; b++ {
-				for s := range streams {
-					f, ok := streams[s].Next()
-					for !ok {
+			for s := range streams {
+				streams[s] = newStream(s, 0)
+				// After a warm restart, fast-forward to where the shard left
+				// off: the lap-seed schedule is deterministic, so regenerating
+				// and discarding the already-processed frames lands the stream
+				// on exactly the frame the interrupted run would have seen next.
+				for skip := mon.Shard(s).Stats().Frames; skip > 0; skip-- {
+					if _, ok := streams[s].Next(); !ok {
 						laps[s]++
 						streams[s] = newStream(s, laps[s])
-						f, ok = streams[s].Next()
+						skip++ // this iteration consumed no frame
 					}
-					// The chaos schedule holds no drop/dup faults, so Apply
-					// yields exactly one (possibly corrupted) frame; the
-					// admission gate quarantines the corrupted ones.
-					if out := inj.Apply(s, step, f); len(out) == 1 {
-						f = out[0]
-					}
-					batches[s] = append(batches[s], f)
 				}
-				step++
-				// Tick per frame-per-shard, not per flush, so -fps means the
-				// same stream rate at any batch size.
-				if throttle != nil && b < *batchN-1 {
+			}
+			// Frames accumulate into per-shard micro-batches of -batch frames
+			// and reach the supervisor in one ProcessBatches call; -batch 1 is
+			// the classic lockstep one-frame-per-shard cadence. The chaos and
+			// lap-seed schedules key on the per-shard stream index, so batching
+			// never moves a fault or a drift.
+			batches := make([][]vidsim.Frame, *shards)
+			for step := 0; ; {
+				select {
+				case reply := <-ckptReq:
+					reply <- mon.Checkpoint()
+				default:
+				}
+				for s := range batches {
+					batches[s] = batches[s][:0]
+				}
+				for b := 0; b < *batchN; b++ {
+					for s := range streams {
+						f, ok := streams[s].Next()
+						for !ok {
+							laps[s]++
+							streams[s] = newStream(s, laps[s])
+							f, ok = streams[s].Next()
+						}
+						// The chaos schedule holds no drop/dup faults, so Apply
+						// yields exactly one (possibly corrupted) frame; the
+						// admission gate quarantines the corrupted ones.
+						if out := inj.Apply(s, step, f); len(out) == 1 {
+							f = out[0]
+						}
+						batches[s] = append(batches[s], f)
+					}
+					step++
+					// Tick per frame-per-shard, not per flush, so -fps means the
+					// same stream rate at any batch size.
+					if throttle != nil && b < *batchN-1 {
+						<-throttle.C
+					}
+				}
+				events, err := mon.ProcessBatches(batches)
+				if err != nil {
+					// The self-feed drives a fixed fleet; a shape mismatch here
+					// is a bug, not an operational condition.
+					log.Fatalf("processing batches: %v", err)
+				}
+				total := 0
+				for s, evs := range events {
+					total += len(evs)
+					if *verbose {
+						for j, out := range evs {
+							at := step - len(evs) + j
+							if out.Drift {
+								fmt.Fprintf(os.Stderr, "shard %d frame %d [%s]: drift declared\n", s, at, batches[s][j].Condition)
+							}
+							if out.SwitchedTo != "" {
+								fmt.Fprintf(os.Stderr, "shard %d frame %d [%s]: deployed %q (trained=%v)\n",
+									s, at, batches[s][j].Condition, out.SwitchedTo, out.TrainedNew)
+							}
+						}
+					}
+				}
+				n := processed.Add(int64(total))
+				if *frames > 0 && n >= int64(*frames) {
+					fmt.Fprintf(os.Stderr, "frame budget reached (%d); streams stopped, still serving\n", n)
+					return
+				}
+				if throttle != nil {
 					<-throttle.C
 				}
 			}
-			events := mon.ProcessBatches(batches)
-			total := 0
-			for s, evs := range events {
-				total += len(evs)
-				if *verbose {
-					for j, out := range evs {
-						at := step - len(evs) + j
-						if out.Drift {
-							fmt.Fprintf(os.Stderr, "shard %d frame %d [%s]: drift declared\n", s, at, batches[s][j].Condition)
-						}
-						if out.SwitchedTo != "" {
-							fmt.Fprintf(os.Stderr, "shard %d frame %d [%s]: deployed %q (trained=%v)\n",
-								s, at, batches[s][j].Condition, out.SwitchedTo, out.TrainedNew)
-						}
-					}
-				}
-			}
-			n := processed.Add(int64(total))
-			if *frames > 0 && n >= int64(*frames) {
-				fmt.Fprintf(os.Stderr, "frame budget reached (%d); streams stopped, still serving\n", n)
-				return
-			}
-			if throttle != nil {
-				<-throttle.C
-			}
-		}
-	}()
+		}()
+	}
 
 	// capture obtains a consistent checkpoint: through the stream loop's
 	// handshake while it is running, directly once it has exited.
@@ -445,6 +566,11 @@ func main() {
 		if err := tr.WritePrometheusTo(w); err != nil {
 			log.Printf("/metrics: %v", err)
 		}
+		if router != nil {
+			if err := router.WritePrometheus(w); err != nil {
+				log.Printf("/metrics (ingest): %v", err)
+			}
+		}
 	})
 	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		tr := shardTracer(w, r)
@@ -498,16 +624,24 @@ func main() {
 	// for the forensic endpoints; reads on a Monitor's recorder and
 	// registry are safe while batches run.
 	shardMonitor := func(w http.ResponseWriter, r *http.Request) *videodrift.Monitor {
-		q := r.URL.Query().Get("shard")
-		if q == "" {
-			return mon.Shard(0)
+		k := 0
+		if q := r.URL.Query().Get("shard"); q != "" {
+			var err error
+			if k, err = strconv.Atoi(q); err != nil {
+				http.Error(w, "shard must be an integer", http.StatusBadRequest)
+				return nil
+			}
 		}
-		k, err := strconv.Atoi(q)
-		if err != nil || k < 0 || k >= mon.Shards() {
+		if k < 0 || k >= mon.Shards() {
 			http.Error(w, fmt.Sprintf("shard must be in [0,%d)", mon.Shards()), http.StatusBadRequest)
 			return nil
 		}
-		return mon.Shard(k)
+		// A dynamic fleet can have detached slots (idle-evicted tenants).
+		m := mon.Shard(k)
+		if m == nil {
+			http.Error(w, fmt.Sprintf("shard %d is detached", k), http.StatusNotFound)
+		}
+		return m
 	}
 	mux.HandleFunc("/drift/", func(w http.ResponseWriter, r *http.Request) {
 		m := shardMonitor(w, r)
@@ -549,14 +683,23 @@ func main() {
 				"dropped":  sh.DroppedFrames,
 			}
 		}
+		mode := "selfdrive"
+		if router != nil {
+			mode = "ingest"
+		}
 		resp := map[string]interface{}{
 			"status":             h.State.String(),
+			"mode":               mode,
 			"streaming":          !done.Load(),
-			"shards":             len(tracers),
+			"shards":             mon.Shards(),
+			"active_shards":      mon.Active(),
 			"frames":             processed.Load(),
 			"quarantined_frames": stats.QuarantinedFrames,
 			"training_failures":  stats.TrainingFailures,
 			"shard_health":       shardHealth,
+		}
+		if router != nil {
+			resp["ingest"] = router.Stats()
 		}
 		code := http.StatusOK
 		// A tripped crash-loop breaker or a wedged worker means the fleet
@@ -586,6 +729,9 @@ func main() {
 			log.Printf("/healthz: %v", err)
 		}
 	})
+	if isrv != nil {
+		mux.Handle("/ingest", isrv.HTTPHandler())
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -594,6 +740,11 @@ func main() {
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
+			return
+		}
+		if router != nil {
+			fmt.Fprintf(w, "driftserve: %s models, network ingestion on %s (%d max tenants), %s selector\nendpoints: /metrics /snapshot /events /drift/ /drift/<id> /healthz /ingest (POST) /debug/pprof/ (?shard=k)\n",
+				ds.Name, *ingestAddr, *maxTenants, sel)
 			return
 		}
 		fmt.Fprintf(w, "driftserve: %s stream ×%d shards, %s selector\nendpoints: /metrics /snapshot /events /drift/ /drift/<id> /healthz /debug/pprof/ (?shard=k)\n",

@@ -7,6 +7,7 @@
 //	drifttool [-dataset bdd|detrac|tokyo|slow] [-scale 0.02] [-selector msbo|msbi] [-v]
 //	drifttool inspect <checkpoint>
 //	drifttool [-drift id] [-shard n] explain <checkpoint>
+//	drifttool health <addr>
 //	drifttool lint [packages]
 //
 // The inspect subcommand describes a checkpoint file written by
@@ -29,10 +30,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"videodrift/internal/analysis"
@@ -41,6 +46,7 @@ import (
 	"videodrift/internal/dataset"
 	"videodrift/internal/experiments"
 	"videodrift/internal/forensics"
+	"videodrift/internal/ingest"
 	"videodrift/internal/query"
 	"videodrift/internal/store"
 )
@@ -80,8 +86,14 @@ func main() {
 		explain(flag.Arg(1), *driftID, *shard)
 		return
 	}
+	if flag.Arg(0) == "health" {
+		if flag.NArg() != 2 {
+			log.Fatal("usage: drifttool health <addr>")
+		}
+		os.Exit(health(os.Stdout, flag.Arg(1)))
+	}
 	if flag.NArg() > 0 {
-		log.Fatalf("unknown subcommand %q (subcommands: inspect, explain, lint)", flag.Arg(0))
+		log.Fatalf("unknown subcommand %q (subcommands: inspect, explain, health, lint)", flag.Arg(0))
 	}
 
 	var ds *dataset.Dataset
@@ -154,6 +166,88 @@ func main() {
 	if scored > 0 {
 		fmt.Printf("sampled count-query accuracy: %.3f (%d frames scored)\n", float64(correct)/float64(scored), scored)
 	}
+}
+
+// health fetches a running driftserve's /healthz and pretty-prints it,
+// including the per-tenant ingestion stats when the server runs the
+// network ingestion tier. Exit status is 0 only when the server
+// answered 200 — the CI smoke-check contract. The "total dropped"
+// line sums supervised frame drops across shards (breaker-tripped
+// shards discarding frames); a soak asserts it stays zero.
+func health(w io.Writer, addr string) int {
+	url := addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	url = strings.TrimSuffix(url, "/")
+	if !strings.HasSuffix(url, "/healthz") {
+		url += "/healthz"
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "drifttool health: %v\n", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Status       string `json:"status"`
+		Mode         string `json:"mode"`
+		Streaming    bool   `json:"streaming"`
+		Shards       int    `json:"shards"`
+		ActiveShards int    `json:"active_shards"`
+		Frames       int64  `json:"frames"`
+		Quarantined  int64  `json:"quarantined_frames"`
+		TrainFails   int64  `json:"training_failures"`
+		ShardHealth  []struct {
+			State    string `json:"state"`
+			Stalled  bool   `json:"stalled"`
+			Restarts int    `json:"restarts"`
+			Dropped  int    `json:"dropped"`
+		} `json:"shard_health"`
+		Ingest *ingest.Stats `json:"ingest"`
+
+		StateDir string  `json:"state_dir"`
+		CkptAge  float64 `json:"last_checkpoint_age_seconds"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		fmt.Fprintf(os.Stderr, "drifttool health: decoding %s: %v\n", url, err)
+		return 1
+	}
+	fmt.Fprintf(w, "%s: %s (HTTP %d)\n", url, h.Status, resp.StatusCode)
+	fmt.Fprintf(w, "  mode: %s   streaming: %v\n", h.Mode, h.Streaming)
+	fmt.Fprintf(w, "  shards: %d (%d attached)   frames: %d   quarantined: %d   training failures: %d\n",
+		h.Shards, h.ActiveShards, h.Frames, h.Quarantined, h.TrainFails)
+	dropped := 0
+	for i, sh := range h.ShardHealth {
+		dropped += sh.Dropped
+		stalled := ""
+		if sh.Stalled {
+			stalled = "   STALLED"
+		}
+		fmt.Fprintf(w, "  shard %d: %s (restarts %d, dropped %d)%s\n", i, sh.State, sh.Restarts, sh.Dropped, stalled)
+	}
+	if h.StateDir != "" {
+		fmt.Fprintf(w, "  checkpoints: %s (last %.1fs ago)\n", h.StateDir, h.CkptAge)
+	}
+	if in := h.Ingest; in != nil {
+		fmt.Fprintf(w, "  ingest: %d/%d tenants attached   accepted %d   processed %d   dups %d\n",
+			in.Active, in.Known, in.Accepted, in.Processed, in.Dups)
+		fmt.Fprintf(w, "    nacks: queue_full %d, bad_seq %d, tenant_limit %d, malformed %d   attaches %d   evictions %d\n",
+			in.NackedFull, in.NackedSeq, in.NackedLimit, in.NackedMalformed, in.Attaches, in.Evictions)
+		for _, t := range in.Tenants {
+			slot := fmt.Sprint(t.Slot)
+			if t.Slot < 0 {
+				slot = "evicted"
+			}
+			fmt.Fprintf(w, "    tenant %s: slot %s, queued %d/%d, accepted %d, processed %d, dups %d, nacked_full %d, nacked_seq %d\n",
+				t.Tenant, slot, t.Queued, t.QueueCap, t.Accepted, t.Processed, t.Dups, t.NackedFull, t.NackedSeq)
+		}
+	}
+	fmt.Fprintf(w, "  total dropped: %d\n", dropped)
+	if resp.StatusCode != http.StatusOK {
+		return 1
+	}
+	return 0
 }
 
 // explain loads a checkpoint and renders the forensic report of its

@@ -1,0 +1,142 @@
+package faults
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestGenerateNetDeterministic pins the schedule generator: same seed
+// and arguments, byte-identical schedule; a different seed lands the
+// faults on different transmissions.
+func TestGenerateNetDeterministic(t *testing.T) {
+	a := GenerateNet(42, 500, 0.05, 0.02)
+	b := GenerateNet(42, 500, 0.05, 0.02)
+	if len(a.Faults) == 0 {
+		t.Fatal("500 transmissions at 5%/2% produced no faults")
+	}
+	if len(a.Faults) != len(b.Faults) {
+		t.Fatalf("same seed, %d vs %d faults", len(a.Faults), len(b.Faults))
+	}
+	for i := range a.Faults {
+		if a.Faults[i] != b.Faults[i] {
+			t.Fatalf("fault %d: %+v vs %+v", i, a.Faults[i], b.Faults[i])
+		}
+	}
+	for i := 1; i < len(a.Faults); i++ {
+		p, q := a.Faults[i-1], a.Faults[i]
+		if p.Msg > q.Msg || (p.Msg == q.Msg && p.Kind >= q.Kind) {
+			t.Fatalf("schedule not sorted at %d: %+v then %+v", i, p, q)
+		}
+	}
+	c := GenerateNet(43, 500, 0.05, 0.02)
+	same := len(a.Faults) == len(c.Faults)
+	if same {
+		for i := range a.Faults {
+			if a.Faults[i] != c.Faults[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	if got := GenerateNet(1, 100, 0, 0); len(got.Faults) != 0 {
+		t.Fatalf("zero rates scheduled %d faults", len(got.Faults))
+	}
+}
+
+// TestNetInjectorCorrupt pins corruption mechanics: exactly one bit of
+// one byte flips, strictly past the protocol header, the input slice is
+// never mutated, and replaying the same transmission flips the same
+// bit.
+func TestNetInjectorCorrupt(t *testing.T) {
+	msg := make([]byte, 64)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	orig := append([]byte(nil), msg...)
+	in := NewNetInjector(NetSchedule{Seed: 9, Faults: []NetFault{{Msg: 3, Kind: NetCorruptByte}}})
+
+	// Un-faulted transmissions pass the original slice through.
+	if out, tear := in.Tx(0, msg); &out[0] != &msg[0] || tear {
+		t.Fatal("clean transmission was copied or torn")
+	}
+	out, tear := in.Tx(3, msg)
+	if tear {
+		t.Fatal("corruption must not tear the connection")
+	}
+	if !bytes.Equal(msg, orig) {
+		t.Fatal("Tx mutated the caller's buffer")
+	}
+	diff := -1
+	for i := range out {
+		if out[i] != msg[i] {
+			if diff >= 0 {
+				t.Fatalf("bytes %d and %d both corrupted", diff, i)
+			}
+			diff = i
+		}
+	}
+	if diff < NetHeaderBytes {
+		t.Fatalf("corruption at byte %d, must land past the %d-byte header", diff, NetHeaderBytes)
+	}
+	if x := out[diff] ^ msg[diff]; x&(x-1) != 0 {
+		t.Fatalf("byte %d changed by %#x, want a single bit flip", diff, x)
+	}
+	in2 := NewNetInjector(in.Schedule())
+	out2, _ := in2.Tx(3, msg)
+	if !bytes.Equal(out, out2) {
+		t.Fatal("replaying the schedule corrupted a different bit")
+	}
+	if got := in.Stats().Count(NetCorruptByte); got != 1 {
+		t.Fatalf("corrupt count = %d, want 1", got)
+	}
+}
+
+// TestNetInjectorTornWrite pins tear mechanics: the output is a proper
+// non-empty prefix and the sender is told to drop the connection.
+func TestNetInjectorTornWrite(t *testing.T) {
+	msg := make([]byte, 64)
+	for i := range msg {
+		msg[i] = byte(i * 3)
+	}
+	in := NewNetInjector(NetSchedule{Seed: 9, Faults: []NetFault{{Msg: 0, Kind: NetTornWrite}}})
+	out, tear := in.Tx(0, msg)
+	if !tear {
+		t.Fatal("torn write did not request a connection drop")
+	}
+	if len(out) == 0 || len(out) >= len(msg) {
+		t.Fatalf("torn write kept %d of %d bytes, want a proper non-empty prefix", len(out), len(msg))
+	}
+	if !bytes.Equal(out, msg[:len(out)]) {
+		t.Fatal("torn write altered the bytes it kept")
+	}
+	if got := in.Stats().Total(); got != 1 {
+		t.Fatalf("fired total = %d, want 1", got)
+	}
+}
+
+// TestNetInjectorNil pins the nil-receiver contract the client relies
+// on: a fault-free run passes a nil *NetInjector whose Tx is still a
+// valid passthrough.
+func TestNetInjectorNil(t *testing.T) {
+	var in *NetInjector
+	msg := []byte{1, 2, 3}
+	if out, tear := in.Tx(0, msg); &out[0] != &msg[0] || tear {
+		t.Fatal("nil injector is not a passthrough")
+	}
+	if in.Stats().Total() != 0 || len(in.Schedule().Faults) != 0 {
+		t.Fatal("nil injector reported state")
+	}
+}
+
+// TestNetFaultKindString pins the snake_case names used in logs.
+func TestNetFaultKindString(t *testing.T) {
+	if NetCorruptByte.String() != "net_corrupt_byte" || NetTornWrite.String() != "net_torn_write" {
+		t.Fatalf("kind names %q, %q", NetCorruptByte, NetTornWrite)
+	}
+	if got := NetFaultKind(250).String(); got != "netkind(250)" {
+		t.Fatalf("out-of-range kind name %q", got)
+	}
+}

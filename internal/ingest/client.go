@@ -1,0 +1,257 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"videodrift/internal/vidsim"
+)
+
+// Client defaults.
+const (
+	DefaultDialTimeout  = 5 * time.Second
+	DefaultReplyTimeout = 30 * time.Second
+	DefaultMaxAttempts  = 8
+	DefaultMaxBackoff   = 200
+)
+
+// ClientConfig parameterizes a Client.
+type ClientConfig struct {
+	// Addr is the server's TCP address.
+	Addr string
+	// Tenant is the stream identity every frame is sent under
+	// (1..MaxTenant bytes).
+	Tenant string
+	// DialTimeout bounds each (re)connection attempt (<= 0 means
+	// DefaultDialTimeout); ReplyTimeout bounds the wait for each Ack or
+	// Nack (<= 0 means DefaultReplyTimeout).
+	DialTimeout  time.Duration
+	ReplyTimeout time.Duration
+	// MaxAttempts bounds transport-level retries per frame — reconnects
+	// after torn writes, resends after corruption Nacks (<= 0 means
+	// DefaultMaxAttempts). Backpressure Nacks have their own, larger
+	// budget MaxBackoff, because a full queue is the server working as
+	// designed, not failing (<= 0 means DefaultMaxBackoff).
+	MaxAttempts int
+	MaxBackoff  int
+	// Sleep waits out a Nack's retry-after hint (nil means time.Sleep;
+	// tests inject to avoid wall-clock waits).
+	Sleep func(time.Duration)
+	// Now is the deadline clock (nil means time.Now).
+	Now func() time.Time
+	// TxFault optionally mangles the bytes of transmission msg (a
+	// per-client counter that includes retries) before they hit the
+	// wire, returning the bytes to send and whether to tear the
+	// connection down after them — the seam faults.NetInjector.Tx plugs
+	// into. Nil sends clean.
+	TxFault func(msg int, b []byte) ([]byte, bool)
+}
+
+// ClientStats counts a client's wire activity.
+type ClientStats struct {
+	// Sent counts transmissions (including retries); Acked frames
+	// accepted; Dups idempotent re-acks (a resend whose original made
+	// it); Nacks rejections of any kind; Retries re-sends of a frame;
+	// Reconnects connection re-establishments after the first.
+	Sent, Acked, Dups, Nacks, Retries, Reconnects int64
+}
+
+// NackError is returned when the server's rejection exhausts the
+// retry budget (or is not retryable at all, like a sequence gap).
+type NackError struct{ Nack Nack }
+
+func (e *NackError) Error() string {
+	return fmt.Sprintf("ingest: server nack code %d (seq %d): %s", e.Nack.Code, e.Nack.Seq, e.Nack.Reason)
+}
+
+// Client feeds one tenant's frame stream to an ingest server with
+// exactly-once delivery: each frame is sent and resent — across
+// reconnects, corruption rejections and backpressure — until the
+// server acknowledges it (a Dup ack counts: the earlier send made it
+// and only the ack was lost). A Client is not safe for concurrent
+// use; one goroutine owns one tenant stream, matching the protocol's
+// per-tenant total order.
+type Client struct {
+	cfg   ClientConfig
+	conn  net.Conn
+	seq   uint64 // next sequence number to assign
+	tx    int    // transmission counter (TxFault key)
+	stats ClientStats
+}
+
+// Dial builds a client and establishes its first connection.
+func Dial(cfg ClientConfig) (*Client, error) {
+	if cfg.Tenant == "" || len(cfg.Tenant) > MaxTenant {
+		return nil, fmt.Errorf("%w: tenant id must be 1..%d bytes", ErrMalformed, MaxTenant)
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = DefaultDialTimeout
+	}
+	if cfg.ReplyTimeout <= 0 {
+		cfg.ReplyTimeout = DefaultReplyTimeout
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = DefaultMaxAttempts
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = DefaultMaxBackoff
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	c := &Client{cfg: cfg}
+	if err := c.connect(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// connect (re)establishes the TCP connection.
+func (c *Client) connect() error {
+	conn, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	return nil
+}
+
+// drop closes the current connection (if any).
+func (c *Client) drop() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// Close tears the connection down. The client's stream position is
+// kept, so a later Send would reconnect and continue the sequence.
+func (c *Client) Close() error {
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// Stats returns the client's wire counters.
+func (c *Client) Stats() ClientStats { return c.stats }
+
+// Seq returns the next sequence number the client will assign.
+func (c *Client) Seq() uint64 { return c.seq }
+
+// Send delivers one frame, blocking until the server acknowledges it
+// or a retry budget runs out. On success the client's sequence
+// advances; on error the frame is not considered delivered and Send
+// may be called again with the same frame.
+func (c *Client) Send(f vidsim.Frame) error {
+	wire := EncodeFrame(MsgFromFrame(c.cfg.Tenant, c.seq, f))
+	attempts, backoffs := 0, 0
+	var lastErr error
+	for attempts < c.cfg.MaxAttempts && backoffs < c.cfg.MaxBackoff {
+		if c.conn == nil {
+			if err := c.connect(); err != nil {
+				attempts++
+				lastErr = err
+				continue
+			}
+			c.stats.Reconnects++
+		}
+		out, tear := wire, false
+		if c.cfg.TxFault != nil {
+			out, tear = c.cfg.TxFault(c.tx, wire)
+		}
+		c.tx++
+		c.stats.Sent++
+		_, werr := c.conn.Write(out)
+		if tear {
+			// Injected torn write: the connection dies mid-message, like a
+			// crashing sender. Reconnect and resend.
+			c.drop()
+			attempts++
+			c.stats.Retries++
+			lastErr = fmt.Errorf("ingest: injected torn write (tx %d)", c.tx-1)
+			continue
+		}
+		if werr != nil {
+			c.drop()
+			attempts++
+			c.stats.Retries++
+			lastErr = werr
+			continue
+		}
+		c.conn.SetReadDeadline(c.cfg.Now().Add(c.cfg.ReplyTimeout))
+		msgType, payload, err := ReadMsg(c.conn)
+		if err != nil {
+			// Lost reply: the frame may or may not have been processed.
+			// Resend — the server's seq dedup makes that idempotent.
+			c.drop()
+			attempts++
+			c.stats.Retries++
+			lastErr = err
+			continue
+		}
+		switch msgType {
+		case MsgAck:
+			ack, err := DecodeAck(payload)
+			if err != nil {
+				c.drop()
+				attempts++
+				lastErr = err
+				continue
+			}
+			c.stats.Acked++
+			if ack.Dup {
+				c.stats.Dups++
+			}
+			c.seq++
+			return nil
+		case MsgNack:
+			nack, err := DecodeNack(payload)
+			if err != nil {
+				c.drop()
+				attempts++
+				lastErr = err
+				continue
+			}
+			c.stats.Nacks++
+			lastErr = &NackError{Nack: nack}
+			switch nack.Code {
+			case NackQueueFull, NackTenantLimit:
+				// Backpressure: the server told us when to come back.
+				backoffs++
+				c.stats.Retries++
+				d := time.Duration(nack.RetryAfterMillis) * time.Millisecond
+				if d <= 0 {
+					d = DefaultRetryAfter
+				}
+				c.cfg.Sleep(d)
+				continue
+			case NackMalformed, NackInternal:
+				// Wire corruption or a transient server fault: resend.
+				attempts++
+				c.stats.Retries++
+				continue
+			default:
+				// A sequence gap (or unknown code) is not retryable: the
+				// same bytes would be rejected again.
+				return lastErr
+			}
+		default:
+			c.drop()
+			attempts++
+			lastErr = fmt.Errorf("ingest: unexpected reply type %d", msgType)
+			continue
+		}
+	}
+	if lastErr == nil {
+		lastErr = errors.New("ingest: send retries exhausted")
+	}
+	return fmt.Errorf("ingest: frame seq %d not delivered after %d attempts: %w", c.seq, attempts+backoffs, lastErr)
+}

@@ -1,0 +1,374 @@
+package ingest
+
+import (
+	"bytes"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"videodrift"
+	"videodrift/internal/faults"
+	"videodrift/internal/telemetry"
+	"videodrift/internal/vidsim"
+)
+
+// loopbackStreams builds per-tenant drifting streams (day → night at
+// tenant-specific offsets), the multi-tenant sibling of the root
+// package's batching fixture.
+func loopbackStreams(n int) map[string][]vidsim.Frame {
+	streams := make(map[string][]vidsim.Frame, n)
+	tenants := []string{"cam-a", "cam-b", "cam-c", "cam-d"}
+	for i := 0; i < n; i++ {
+		seed := int64(60 + 2*i)
+		cut := 70 + 25*i
+		streams[tenants[i]] = append(
+			vidsim.GenerateTrainingStride(testCond(vidsim.Day()), 16, 16, cut, 1, seed),
+			vidsim.GenerateTrainingStride(testCond(vidsim.Night()), 16, 16, 200-cut, 1, seed+1)...)
+	}
+	return streams
+}
+
+// dialRaw opens a plain TCP connection for hand-rolled wire traffic.
+func dialRaw(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+// fixedClock is the telemetry clock for bit-identical event
+// comparison: wire and reference tracers stamp every event the same.
+func fixedClock() time.Time { return time.Unix(0, 0) }
+
+// runLoopback drives the full network path — ingest.Client over real
+// TCP, Server, Router, dynamic fleet — for every tenant stream, with
+// optional injected wire faults, and asserts the per-tenant outcome is
+// bit-identical to in-process serial feeding: telemetry event streams,
+// pipeline stats, and the deployed model. It returns the clients'
+// aggregate stats.
+func runLoopback(t *testing.T, streams map[string][]vidsim.Frame, faultSeed int64) ClientStats {
+	t.Helper()
+	models, opts := sharedModels()
+	sm := videodrift.NewDynamicSharded(models, testLabeler, videodrift.ShardedOptions{
+		Options: opts, Workers: 4,
+	})
+	router := NewRouter(sm, Config{
+		QueueCap:  64,
+		BatchSize: 8,
+		NewTracer: func(string) *telemetry.Tracer {
+			return telemetry.New(telemetry.Config{Now: fixedClock})
+		},
+	})
+	srv := NewServer(router, ServerConfig{Logf: t.Logf})
+	go srv.ListenAndServe("127.0.0.1:0")
+	defer srv.Close()
+	for srv.Addr() == nil {
+		time.Sleep(time.Millisecond)
+	}
+
+	// One pump driver, as driftserve runs it.
+	var pumpErr atomic.Value
+	pumpDone := make(chan struct{})
+	stopPump := make(chan struct{})
+	go func() {
+		defer close(pumpDone)
+		for {
+			if _, err := router.Pump(); err != nil {
+				pumpErr.Store(err)
+				return
+			}
+			select {
+			case <-stopPump:
+				return
+			case <-time.After(500 * time.Microsecond):
+			}
+		}
+	}()
+
+	var mu sync.Mutex
+	total := ClientStats{}
+	var wg sync.WaitGroup
+	for tenant, stream := range streams {
+		wg.Add(1)
+		go func(tenant string, stream []vidsim.Frame) {
+			defer wg.Done()
+			cfg := ClientConfig{Addr: srv.Addr().String(), Tenant: tenant}
+			if faultSeed != 0 {
+				sched := faults.GenerateNet(faultSeed+int64(len(tenant))+int64(tenant[4]), 3*len(stream), 0.05, 0.02)
+				if len(sched.Faults) == 0 {
+					t.Errorf("tenant %s: fault schedule is empty, the fault run would test nothing", tenant)
+				}
+				cfg.TxFault = faults.NewNetInjector(sched).Tx
+			}
+			c, err := Dial(cfg)
+			if err != nil {
+				t.Errorf("tenant %s: %v", tenant, err)
+				return
+			}
+			defer c.Close()
+			for i, f := range stream {
+				if err := c.Send(f); err != nil {
+					t.Errorf("tenant %s frame %d: %v", tenant, i, err)
+					return
+				}
+			}
+			mu.Lock()
+			s := c.Stats()
+			total.Sent += s.Sent
+			total.Acked += s.Acked
+			total.Dups += s.Dups
+			total.Nacks += s.Nacks
+			total.Retries += s.Retries
+			total.Reconnects += s.Reconnects
+			mu.Unlock()
+		}(tenant, stream)
+	}
+	wg.Wait()
+
+	// Drain: every accepted frame must reach the fleet.
+	want := int64(0)
+	for _, stream := range streams {
+		want += int64(len(stream))
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for router.Stats().Processed < want {
+		if err, _ := pumpErr.Load().(error); err != nil {
+			t.Fatalf("pump failed: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("drain timed out: processed %d of %d accepted frames", router.Stats().Processed, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stopPump)
+	<-pumpDone
+	if err, _ := pumpErr.Load().(error); err != nil {
+		t.Fatalf("pump failed: %v", err)
+	}
+
+	rs := router.Stats()
+	if rs.Accepted != want || rs.Processed != want {
+		t.Fatalf("accepted %d processed %d, want %d — frames lost or duplicated", rs.Accepted, rs.Processed, want)
+	}
+
+	// Per tenant: replay the stream through a standalone serial Monitor
+	// with the shard slot's seed, fed the float32-quantized frames the
+	// wire delivers. Telemetry events, pipeline stats and the deployed
+	// model must be bit-identical.
+	for _, ts := range rs.Tenants {
+		stream := streams[ts.Tenant]
+		if ts.Slot < 0 {
+			t.Fatalf("tenant %s detached after the run", ts.Tenant)
+		}
+		refTracer := telemetry.New(telemetry.Config{Now: fixedClock})
+		shardOpts := opts
+		shardOpts.Pipeline.Seed += int64(ts.Slot)
+		shardOpts.Tracer = refTracer
+		ref := videodrift.NewMonitor(models, testLabeler, shardOpts)
+		for i, f := range stream {
+			ref.Process(FrameFromMsg(MsgFromFrame(ts.Tenant, uint64(i), f)))
+		}
+		if got, wantM := sm.Shard(ts.Slot).Current(), ref.Current(); got != wantM {
+			t.Errorf("tenant %s (slot %d): deployed %q, serial reference %q", ts.Tenant, ts.Slot, got, wantM)
+		}
+		if got, wantS := sm.ShardStats(ts.Slot), ref.Stats(); got != wantS {
+			t.Errorf("tenant %s (slot %d): stats %+v, serial reference %+v", ts.Tenant, ts.Slot, got, wantS)
+		}
+		gotSnap := router.Tracer(ts.Tenant).Snapshot()
+		wantSnap := refTracer.Snapshot()
+		if gotSnap.Drifts == 0 {
+			t.Errorf("tenant %s: no drift declared — the fixture stream never exercised detection", ts.Tenant)
+		}
+		if gotSnap.Drifts != wantSnap.Drifts || gotSnap.Selections != wantSnap.Selections ||
+			gotSnap.Deployments != wantSnap.Deployments || gotSnap.ModelsTrained != wantSnap.ModelsTrained {
+			t.Errorf("tenant %s: counters drift/sel/deploy/train %d/%d/%d/%d, reference %d/%d/%d/%d",
+				ts.Tenant, gotSnap.Drifts, gotSnap.Selections, gotSnap.Deployments, gotSnap.ModelsTrained,
+				wantSnap.Drifts, wantSnap.Selections, wantSnap.Deployments, wantSnap.ModelsTrained)
+		}
+		if !reflect.DeepEqual(gotSnap.Events, wantSnap.Events) {
+			t.Errorf("tenant %s: telemetry event stream diverged from serial reference\nwire: %+v\nref:  %+v",
+				ts.Tenant, gotSnap.Events, wantSnap.Events)
+		}
+	}
+	return total
+}
+
+// TestLoopbackBitIdentical is the tier-0 acceptance test for the
+// ingestion tier: frames delivered over real TCP produce, per tenant,
+// the exact events and deployments in-process feeding produces.
+func TestLoopbackBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E2E loopback in -short mode")
+	}
+	s := runLoopback(t, loopbackStreams(3), 0)
+	if s.Retries != 0 || s.Reconnects != 0 || s.Dups != 0 {
+		t.Errorf("clean run had retries %d, reconnects %d, dups %d", s.Retries, s.Reconnects, s.Dups)
+	}
+}
+
+// TestLoopbackBitIdenticalUnderFaults replays the same contract with
+// injected wire faults — corrupted bytes and torn writes. The faults
+// must actually fire (retries, reconnects) and must cost nothing:
+// delivery is exactly-once, the outcome identical to a clean run's.
+func TestLoopbackBitIdenticalUnderFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E2E loopback in -short mode")
+	}
+	s := runLoopback(t, loopbackStreams(3), 97)
+	if s.Retries == 0 {
+		t.Error("fault run never retried — injector did not engage")
+	}
+	if s.Reconnects == 0 {
+		t.Error("fault run never reconnected — no torn write fired")
+	}
+	if s.Nacks == 0 {
+		t.Error("fault run saw no NACKs — no corruption was rejected")
+	}
+}
+
+// TestLoopbackBackpressure pins the end-to-end backpressure contract
+// over the wire: with a tiny queue and no background pump, the server
+// NACKs queue-full, the client backs off (its Sleep hook pumps, as a
+// real deployment's pump cadence would), and every frame is eventually
+// delivered exactly once — backpressure costs latency, never frames.
+func TestLoopbackBackpressure(t *testing.T) {
+	_, opts := sharedModels()
+	sm := testFleet(opts)
+	router := NewRouter(sm, Config{QueueCap: 4, BatchSize: 2, RetryAfter: time.Millisecond})
+	srv := NewServer(router, ServerConfig{})
+	go srv.ListenAndServe("127.0.0.1:0")
+	defer srv.Close()
+	for srv.Addr() == nil {
+		time.Sleep(time.Millisecond)
+	}
+
+	stream := testStream(50, 77)
+	c, err := Dial(ClientConfig{
+		Addr:   srv.Addr().String(),
+		Tenant: "cam-bp",
+		Sleep: func(time.Duration) {
+			if _, err := router.Pump(); err != nil {
+				t.Error(err)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i, f := range stream {
+		if err := c.Send(f); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+	}
+	if _, err := router.Pump(); err != nil {
+		t.Fatal(err)
+	}
+	s := router.Stats()
+	if s.NackedFull == 0 || c.Stats().Nacks == 0 {
+		t.Errorf("queue of 4 never filled over 50 frames (server nacked_full %d, client nacks %d)",
+			s.NackedFull, c.Stats().Nacks)
+	}
+	if s.Accepted != 50 || s.Processed != 50 {
+		t.Fatalf("accepted %d processed %d, want 50/50 — backpressure dropped frames", s.Accepted, s.Processed)
+	}
+}
+
+// TestHTTPFallback pins the HTTP POST surface: the body is the same
+// wire message, the verdicts map onto status codes.
+func TestHTTPFallback(t *testing.T) {
+	_, opts := sharedModels()
+	router := NewRouter(testFleet(opts), Config{QueueCap: 1})
+	hs := httptest.NewServer(NewServer(router, ServerConfig{}).HTTPHandler())
+	defer hs.Close()
+	stream := testStream(3, 78)
+
+	post := func(body []byte) *http.Response {
+		t.Helper()
+		resp, err := http.Post(hs.URL, "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if resp := post(EncodeFrame(MsgFromFrame("cam-h", 0, stream[0]))); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first frame: HTTP %d", resp.StatusCode)
+	}
+	if resp := post(EncodeFrame(MsgFromFrame("cam-h", 0, stream[0]))); resp.StatusCode != http.StatusOK {
+		t.Fatalf("duplicate frame: HTTP %d, want 200 (idempotent)", resp.StatusCode)
+	}
+	if resp := post(EncodeFrame(MsgFromFrame("cam-h", 5, stream[1]))); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("sequence gap: HTTP %d, want 409", resp.StatusCode)
+	}
+	// Queue cap 1, no pump: the second in-order frame is backpressured.
+	resp := post(EncodeFrame(MsgFromFrame("cam-h", 1, stream[1])))
+	if resp.StatusCode != http.StatusTooManyRequests || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("full queue: HTTP %d (Retry-After %q), want 429 with hint", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	wire := EncodeFrame(MsgFromFrame("cam-h", 2, stream[2]))
+	wire[len(wire)-1] ^= 0x10
+	if resp := post(wire); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt body: HTTP %d, want 400", resp.StatusCode)
+	}
+	if resp := post([]byte("GET / HTTP/1.0")); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage body: HTTP %d, want 400", resp.StatusCode)
+	}
+	if router.Stats().NackedMalformed != 2 {
+		t.Errorf("malformed count %d, want 2", router.Stats().NackedMalformed)
+	}
+}
+
+// TestServerSlowLoris pins the slow-client guard: a connection that
+// sends half a header and stalls is cut after the read timeout instead
+// of pinning its handler goroutine forever.
+func TestServerSlowLoris(t *testing.T) {
+	_, opts := sharedModels()
+	router := NewRouter(testFleet(opts), Config{})
+	srv := NewServer(router, ServerConfig{ReadTimeout: 50 * time.Millisecond})
+	go srv.ListenAndServe("127.0.0.1:0")
+	defer srv.Close()
+	for srv.Addr() == nil {
+		time.Sleep(time.Millisecond)
+	}
+	// A partial header, then silence.
+	wire := EncodeFrame(MsgFromFrame("cam-slow", 0, testStream(1, 79)[0]))
+	raw := dialRaw(t, srv.Addr().String())
+	defer raw.Close()
+	if _, err := raw.Write(wire[:HeaderSize/2]); err != nil {
+		t.Fatal(err)
+	}
+	// The server must come back with a NACK and close, within the
+	// timeout order of magnitude — not the 30s default.
+	raw.SetReadDeadline(time.Now().Add(2 * time.Second))
+	typ, payload, err := ReadMsg(raw)
+	if err != nil {
+		t.Fatalf("expected a best-effort NACK before the cut: %v", err)
+	}
+	if typ != MsgNack {
+		t.Fatalf("reply type %d, want NACK", typ)
+	}
+	if n, _ := DecodeNack(payload); n.Code != NackMalformed {
+		t.Fatalf("nack code %d, want malformed", n.Code)
+	}
+	// The server stays healthy: a prompt client on the same server is
+	// served normally after the slow one was cut.
+	c, err := Dial(ClientConfig{
+		Addr: srv.Addr().String(), Tenant: "cam-slow",
+		ReplyTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Send(testStream(1, 80)[0]); err != nil {
+		t.Fatalf("healthy client starved by the slow one: %v", err)
+	}
+}

@@ -1,0 +1,355 @@
+// Package ingest is the network ingestion tier: it accepts frames from
+// external tenants over a compact binary protocol (raw TCP, plus an
+// HTTP POST fallback), routes them through per-tenant bounded queues
+// with explicit backpressure, and feeds them into a dynamic
+// ShardedMonitor fleet — the front door that turns the single-process
+// monitor into a multi-tenant service (DESIGN.md §14).
+//
+// The wire format is length-prefixed and versioned. Every message is
+//
+//	magic   u32  "VDIF" (0x56444946)
+//	version u8   1
+//	type    u8   frame | ack | nack
+//	len     u32  payload length in bytes
+//	crc     u32  CRC-32 (IEEE) of the payload
+//	payload len bytes
+//
+// all big-endian. The CRC covers the payload only; header damage is
+// caught by the magic/version/length checks. A frame payload carries
+// the tenant id, a per-tenant sequence number, the frame geometry and
+// condition tag, and the pixels as float32 (the wire quantization — the
+// monitor works on float64, so a frame that crossed the wire is the
+// float32-rounded image of the original; determinism contracts compare
+// against the quantized frame).
+//
+// Decoding never trusts a declared length: payloads are capped, dims
+// are bounded, and every structural violation surfaces as a typed
+// error (ErrBadMagic, ErrTruncated, ErrChecksum, ErrOversized,
+// ErrMalformed, *VersionError) — never a panic, never an allocation
+// sized by attacker-controlled bytes beyond the cap.
+//
+//driftlint:deterministic
+package ingest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"videodrift/internal/tensor"
+	"videodrift/internal/vidsim"
+)
+
+// Magic is the wire magic number, "VDIF" big-endian.
+const Magic uint32 = 0x56444946
+
+// Version is the protocol version this package speaks.
+const Version = 1
+
+// HeaderSize is the fixed size of the wire header in bytes
+// (faults.NetHeaderBytes mirrors it so injected corruption lands in
+// the payload; a test pins the agreement).
+const HeaderSize = 14
+
+// Message types.
+const (
+	MsgFrame = 1 // client → server: one video frame
+	MsgAck   = 2 // server → client: frame accepted (or duplicate)
+	MsgNack  = 3 // server → client: frame rejected, with reason code
+)
+
+// Protocol limits. Violations decode as ErrOversized.
+const (
+	// MaxDim bounds frame width and height.
+	MaxDim = 4096
+	// MaxTenant bounds the tenant id length in bytes.
+	MaxTenant = 64
+	// MaxPayload bounds a declared payload length: the largest legal
+	// frame (MaxDim² float32 pixels) plus the fixed fields.
+	MaxPayload = 4*MaxDim*MaxDim + 1 + MaxTenant + 8 + 2 + 2 + 1 + 255 + 4
+)
+
+// Typed decode errors.
+var (
+	// ErrBadMagic reports a header that does not start with Magic — the
+	// peer is not speaking this protocol (or the stream desynced).
+	ErrBadMagic = errors.New("ingest: bad magic")
+	// ErrTruncated reports a message or payload shorter than its
+	// declared contents.
+	ErrTruncated = errors.New("ingest: truncated message")
+	// ErrChecksum reports a payload whose CRC does not match the header.
+	ErrChecksum = errors.New("ingest: payload checksum mismatch")
+	// ErrOversized reports a declared length beyond the protocol limits.
+	ErrOversized = errors.New("ingest: oversized message")
+	// ErrMalformed reports a structurally invalid payload (zero dims,
+	// pixel count disagreeing with geometry, empty tenant id).
+	ErrMalformed = errors.New("ingest: malformed payload")
+)
+
+// VersionError reports a protocol version this package does not speak.
+type VersionError struct{ Got uint8 }
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("ingest: protocol version %d (want %d)", e.Got, Version)
+}
+
+// FrameMsg is a decoded frame message: one video frame addressed by
+// (tenant, sequence number). Seq is per-tenant, starts at 0 and
+// increases by 1 per frame; the router uses it to detect duplicates
+// (resends after a lost ack) and gaps.
+type FrameMsg struct {
+	Tenant    string
+	Seq       uint64
+	W, H      int
+	Condition string
+	Pixels    []float32
+}
+
+// Ack is a decoded acknowledgment: frame Seq is accepted. Dup reports
+// an idempotent accept — the frame had already been processed (a
+// resend after a lost ack), so the sender should advance, not retry.
+type Ack struct {
+	Seq uint64
+	Dup bool
+}
+
+// Nack reason codes.
+const (
+	// NackMalformed: the message failed to decode; resending the same
+	// bytes will fail again.
+	NackMalformed = 1
+	// NackQueueFull: the tenant's queue is full — backpressure. Retry
+	// after RetryAfter.
+	NackQueueFull = 2
+	// NackTenantLimit: the fleet is at -max-tenants and this tenant is
+	// unknown. Retry after RetryAfter (a slot may free up).
+	NackTenantLimit = 3
+	// NackBadSeq: the sequence number leaves a gap (frames would be
+	// silently missing). The expected seq is in Reason.
+	NackBadSeq = 4
+	// NackInternal: the server could not process the frame.
+	NackInternal = 5
+)
+
+// Nack is a decoded rejection for frame Seq. RetryAfterMillis is the
+// server's backoff hint (0 means not retryable); Reason is a short
+// human-readable diagnostic.
+type Nack struct {
+	Seq              uint64
+	Code             uint8
+	RetryAfterMillis uint32
+	Reason           string
+}
+
+// appendHeader appends the 14-byte header for a payload.
+func appendHeader(b []byte, msgType uint8, payload []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, Magic)
+	b = append(b, Version, msgType)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(payload)))
+	b = binary.BigEndian.AppendUint32(b, crc32.ChecksumIEEE(payload))
+	return b
+}
+
+// EncodeFrame encodes a frame message to wire bytes (header included).
+func EncodeFrame(m FrameMsg) []byte {
+	payload := make([]byte, 0, 1+len(m.Tenant)+8+2+2+1+len(m.Condition)+4+4*len(m.Pixels))
+	payload = append(payload, uint8(len(m.Tenant)))
+	payload = append(payload, m.Tenant...)
+	payload = binary.BigEndian.AppendUint64(payload, m.Seq)
+	payload = binary.BigEndian.AppendUint16(payload, uint16(m.W))
+	payload = binary.BigEndian.AppendUint16(payload, uint16(m.H))
+	payload = append(payload, uint8(len(m.Condition)))
+	payload = append(payload, m.Condition...)
+	payload = binary.BigEndian.AppendUint32(payload, uint32(len(m.Pixels)))
+	for _, p := range m.Pixels {
+		payload = binary.BigEndian.AppendUint32(payload, math.Float32bits(p))
+	}
+	return append(appendHeader(make([]byte, 0, HeaderSize+len(payload)), MsgFrame, payload), payload...)
+}
+
+// EncodeAck encodes an ack to wire bytes.
+func EncodeAck(a Ack) []byte {
+	payload := make([]byte, 9)
+	binary.BigEndian.PutUint64(payload, a.Seq)
+	if a.Dup {
+		payload[8] = 1
+	}
+	return append(appendHeader(make([]byte, 0, HeaderSize+len(payload)), MsgAck, payload), payload...)
+}
+
+// EncodeNack encodes a nack to wire bytes. Reasons beyond 65535 bytes
+// are truncated.
+func EncodeNack(n Nack) []byte {
+	if len(n.Reason) > 65535 {
+		n.Reason = n.Reason[:65535]
+	}
+	payload := make([]byte, 0, 8+1+4+2+len(n.Reason))
+	payload = binary.BigEndian.AppendUint64(payload, n.Seq)
+	payload = append(payload, n.Code)
+	payload = binary.BigEndian.AppendUint32(payload, n.RetryAfterMillis)
+	payload = binary.BigEndian.AppendUint16(payload, uint16(len(n.Reason)))
+	payload = append(payload, n.Reason...)
+	return append(appendHeader(make([]byte, 0, HeaderSize+len(payload)), MsgNack, payload), payload...)
+}
+
+// ReadMsg reads one length-prefixed message off the stream: header
+// validation (magic, version, payload cap), then exactly the declared
+// payload, then the CRC check. On a header-level error the stream
+// position is undefined (the connection should be dropped); a payload
+// CRC failure leaves the stream aligned on the next message.
+func ReadMsg(r io.Reader) (msgType uint8, payload []byte, err error) {
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, nil, ErrTruncated
+		}
+		return 0, nil, err // io.EOF between messages: clean close
+	}
+	if binary.BigEndian.Uint32(hdr[0:4]) != Magic {
+		return 0, nil, ErrBadMagic
+	}
+	if hdr[4] != Version {
+		return 0, nil, &VersionError{Got: hdr[4]}
+	}
+	msgType = hdr[5]
+	n := binary.BigEndian.Uint32(hdr[6:10])
+	if n > MaxPayload {
+		return 0, nil, fmt.Errorf("%w: declared payload %d > %d", ErrOversized, n, MaxPayload)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, ErrTruncated
+	}
+	if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(hdr[10:14]) {
+		return msgType, nil, ErrChecksum
+	}
+	return msgType, payload, nil
+}
+
+// DecodeMsg decodes one message from a complete wire buffer (header +
+// payload), the io-free sibling of ReadMsg.
+func DecodeMsg(b []byte) (msgType uint8, payload []byte, err error) {
+	if len(b) < HeaderSize {
+		return 0, nil, ErrTruncated
+	}
+	return ReadMsg(bytes.NewReader(b))
+}
+
+// DecodeFrameMsg decodes a frame payload (the bytes after the header).
+// This is the protocol's attack surface — every length is checked
+// before use, so arbitrary input yields a typed error, never a panic
+// or an unbounded allocation. Fuzzed by FuzzDecodeFrameMsg.
+func DecodeFrameMsg(payload []byte) (FrameMsg, error) {
+	var m FrameMsg
+	if len(payload) < 1 {
+		return m, ErrTruncated
+	}
+	tn := int(payload[0])
+	rest := payload[1:]
+	if tn == 0 {
+		return m, fmt.Errorf("%w: empty tenant id", ErrMalformed)
+	}
+	if tn > MaxTenant {
+		return m, fmt.Errorf("%w: tenant id %d bytes > %d", ErrOversized, tn, MaxTenant)
+	}
+	if len(rest) < tn+8+2+2+1 {
+		return m, ErrTruncated
+	}
+	m.Tenant = string(rest[:tn])
+	rest = rest[tn:]
+	m.Seq = binary.BigEndian.Uint64(rest[0:8])
+	m.W = int(binary.BigEndian.Uint16(rest[8:10]))
+	m.H = int(binary.BigEndian.Uint16(rest[10:12]))
+	cn := int(rest[12])
+	rest = rest[13:]
+	if m.W < 1 || m.H < 1 {
+		return FrameMsg{}, fmt.Errorf("%w: %dx%d frame", ErrMalformed, m.W, m.H)
+	}
+	if m.W > MaxDim || m.H > MaxDim {
+		return FrameMsg{}, fmt.Errorf("%w: %dx%d frame > %dx%d", ErrOversized, m.W, m.H, MaxDim, MaxDim)
+	}
+	if len(rest) < cn+4 {
+		return FrameMsg{}, ErrTruncated
+	}
+	m.Condition = string(rest[:cn])
+	rest = rest[cn:]
+	npix := int(binary.BigEndian.Uint32(rest[0:4]))
+	rest = rest[4:]
+	if npix != m.W*m.H {
+		return FrameMsg{}, fmt.Errorf("%w: %d pixels for a %dx%d frame", ErrMalformed, npix, m.W, m.H)
+	}
+	if len(rest) != 4*npix {
+		return FrameMsg{}, ErrTruncated
+	}
+	m.Pixels = make([]float32, npix)
+	for i := range m.Pixels {
+		m.Pixels[i] = math.Float32frombits(binary.BigEndian.Uint32(rest[4*i : 4*i+4]))
+	}
+	return m, nil
+}
+
+// DecodeAck decodes an ack payload.
+func DecodeAck(payload []byte) (Ack, error) {
+	if len(payload) != 9 {
+		return Ack{}, ErrTruncated
+	}
+	return Ack{Seq: binary.BigEndian.Uint64(payload[0:8]), Dup: payload[8] != 0}, nil
+}
+
+// DecodeNack decodes a nack payload.
+func DecodeNack(payload []byte) (Nack, error) {
+	if len(payload) < 8+1+4+2 {
+		return Nack{}, ErrTruncated
+	}
+	n := Nack{
+		Seq:              binary.BigEndian.Uint64(payload[0:8]),
+		Code:             payload[8],
+		RetryAfterMillis: binary.BigEndian.Uint32(payload[9:13]),
+	}
+	rn := int(binary.BigEndian.Uint16(payload[13:15]))
+	if len(payload) != 15+rn {
+		return Nack{}, ErrTruncated
+	}
+	n.Reason = string(payload[15:])
+	return n, nil
+}
+
+// FrameFromMsg converts a decoded frame message into the monitor's
+// frame type. Index carries the wire sequence number; pixels widen
+// float32 → float64, so this is the exact frame an in-process run must
+// be fed to reproduce a wire run bit-identically.
+func FrameFromMsg(m FrameMsg) vidsim.Frame {
+	px := make(tensor.Vector, len(m.Pixels))
+	for i, p := range m.Pixels {
+		px[i] = float64(p)
+	}
+	return vidsim.Frame{
+		Index:     int(m.Seq),
+		W:         m.W,
+		H:         m.H,
+		Pixels:    px,
+		Condition: m.Condition,
+	}
+}
+
+// MsgFromFrame builds the wire message for a frame: pixels narrow
+// float64 → float32 (the wire quantization), ground truth does not
+// travel — annotation is the server's job, as in the paper's setting.
+func MsgFromFrame(tenant string, seq uint64, f vidsim.Frame) FrameMsg {
+	px := make([]float32, len(f.Pixels))
+	for i, p := range f.Pixels {
+		px[i] = float32(p)
+	}
+	return FrameMsg{
+		Tenant:    tenant,
+		Seq:       seq,
+		W:         f.W,
+		H:         f.H,
+		Condition: f.Condition,
+		Pixels:    px,
+	}
+}

@@ -1,0 +1,435 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"videodrift"
+	"videodrift/internal/telemetry"
+	"videodrift/internal/vidsim"
+)
+
+// Router defaults.
+const (
+	DefaultMaxTenants = 64
+	DefaultQueueCap   = 256
+	DefaultBatchSize  = 8
+	DefaultRetryAfter = 50 * time.Millisecond
+)
+
+// Config parameterizes a Router.
+type Config struct {
+	// MaxTenants bounds concurrently attached tenants (<= 0 means
+	// DefaultMaxTenants). A frame from an unknown tenant beyond the
+	// limit is NACKed with NackTenantLimit — never queued unboundedly.
+	MaxTenants int
+	// QueueCap bounds each tenant's frame queue (<= 0 means
+	// DefaultQueueCap). A frame arriving at a full queue is NACKed with
+	// NackQueueFull and a retry-after hint: explicit backpressure, no
+	// silent drop, no unbounded buffering.
+	QueueCap int
+	// BatchSize is the per-shard micro-batch size Pump feeds the fleet
+	// with (<= 0 means DefaultBatchSize).
+	BatchSize int
+	// IdleEvict detaches a tenant whose queue has been empty and whose
+	// last frame is older than this (0 disables eviction). An evicted
+	// tenant's sequence position is retained, so a returning tenant
+	// resumes its stream on a fresh shard without seq disruption.
+	IdleEvict time.Duration
+	// RetryAfter is the backoff hint attached to queue-full and
+	// tenant-limit NACKs (<= 0 means DefaultRetryAfter).
+	RetryAfter time.Duration
+	// Now is the router's clock, used only for idle-eviction and
+	// retry-after bookkeeping — never for admission or drift decisions,
+	// which keeps replay deterministic. Nil means time.Now.
+	Now func() time.Time
+	// NewTracer optionally builds a per-tenant telemetry tracer,
+	// attached to the tenant's shard for its lifetime (re-used across
+	// evict/reattach so the tenant's history survives). Nil shares the
+	// fleet's base tracer.
+	NewTracer func(tenant string) *telemetry.Tracer
+}
+
+// Router owns the tenant↔shard mapping over a dynamic ShardedMonitor:
+// per-tenant bounded queues on the ingress side, the count-based
+// Batcher on the egress side. Submit (any connection goroutine) and
+// Pump (one driver goroutine) are safe to call concurrently.
+//
+// The backpressure contract: a submitted frame is either queued (and
+// eventually processed, exactly once, in sequence order) or rejected
+// with a typed verdict the sender sees. Nothing in the router drops a
+// frame silently, and no queue grows without bound.
+type Router struct {
+	sm  *videodrift.ShardedMonitor
+	cfg Config
+
+	// mu guards the tenant table and queues (Submit side).
+	mu      sync.Mutex
+	tenants map[string]*tenant
+
+	// procMu serializes Pump: queue drain, batch feed, idle eviction.
+	procMu  sync.Mutex
+	batcher *videodrift.Batcher
+
+	// Aggregate counters (under mu).
+	accepted, processed      int64
+	dups                     int64
+	nackFull, nackSeq        int64
+	nackLimit, nackMalformed int64
+	evictions, attaches      int64
+}
+
+// tenant is one stream's routing state. slot == -1 while detached
+// (idle-evicted); nextSeq persists across evictions so the stream's
+// exactly-once contract survives reattachment.
+type tenant struct {
+	id       string
+	slot     int
+	nextSeq  uint64
+	queue    []vidsim.Frame
+	lastSeen time.Time
+	tracer   *telemetry.Tracer
+
+	accepted, processed int64
+	dups                int64
+	nackFull, nackSeq   int64
+}
+
+// NewRouter builds a router over a fleet. The fleet should be a
+// dynamic one (videodrift.NewDynamicSharded); attaching tenants to a
+// fixed fleet works but competes with its preallocated slots.
+func NewRouter(sm *videodrift.ShardedMonitor, cfg Config) *Router {
+	if cfg.MaxTenants <= 0 {
+		cfg.MaxTenants = DefaultMaxTenants
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = DefaultQueueCap
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = DefaultBatchSize
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Router{
+		sm:      sm,
+		cfg:     cfg,
+		tenants: make(map[string]*tenant),
+		batcher: sm.NewBatcher(cfg.BatchSize),
+	}
+}
+
+// Verdict is the router's decision on one submitted frame — what the
+// server turns into an Ack or Nack on the wire.
+type Verdict struct {
+	// Ack reports the frame was queued (or, with Dup, already
+	// processed — the idempotent accept for a resend after a lost ack).
+	Ack bool
+	Dup bool
+	// Code, RetryAfter and Reason describe the rejection when !Ack.
+	Code       uint8
+	RetryAfter time.Duration
+	Reason     string
+}
+
+// Submit routes one decoded frame. First contact with an unknown
+// tenant attaches a shard over the shared models (the dynamic-fleet
+// lifecycle); a returning evicted tenant reattaches. Safe for
+// concurrent use by connection handlers.
+func (r *Router) Submit(m FrameMsg) Verdict {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.tenants[m.Tenant]
+	if t == nil || t.slot < 0 {
+		if r.activeLocked() >= r.cfg.MaxTenants {
+			r.nackLimit++
+			return Verdict{
+				Code:       NackTenantLimit,
+				RetryAfter: r.cfg.RetryAfter,
+				Reason:     fmt.Sprintf("fleet at max tenants (%d)", r.cfg.MaxTenants),
+			}
+		}
+		if t == nil {
+			t = &tenant{id: m.Tenant, slot: -1}
+			if r.cfg.NewTracer != nil {
+				t.tracer = r.cfg.NewTracer(m.Tenant)
+			}
+			r.tenants[m.Tenant] = t
+		}
+		slot, err := r.sm.Attach(t.tracer)
+		if err != nil {
+			return Verdict{Code: NackInternal, Reason: err.Error()}
+		}
+		t.slot = slot
+		r.attaches++
+	}
+	t.lastSeen = r.cfg.Now()
+	switch {
+	case m.Seq < t.nextSeq:
+		// A resend of a frame we already accepted (its ack was lost):
+		// acknowledge idempotently so the sender advances.
+		t.dups++
+		r.dups++
+		return Verdict{Ack: true, Dup: true}
+	case m.Seq > t.nextSeq:
+		t.nackSeq++
+		r.nackSeq++
+		return Verdict{
+			Code:   NackBadSeq,
+			Reason: fmt.Sprintf("want seq %d, got %d", t.nextSeq, m.Seq),
+		}
+	}
+	if len(t.queue) >= r.cfg.QueueCap {
+		t.nackFull++
+		r.nackFull++
+		return Verdict{
+			Code:       NackQueueFull,
+			RetryAfter: r.cfg.RetryAfter,
+			Reason:     fmt.Sprintf("tenant queue full (%d)", r.cfg.QueueCap),
+		}
+	}
+	t.queue = append(t.queue, FrameFromMsg(m))
+	t.nextSeq++
+	t.accepted++
+	r.accepted++
+	return Verdict{Ack: true}
+}
+
+// activeLocked counts attached tenants. Callers hold r.mu.
+func (r *Router) activeLocked() int {
+	n := 0
+	for _, t := range r.tenants { //lint:allow determinism counting attached tenants is commutative
+		if t.slot >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// CountMalformed records a frame the server rejected before it reached
+// the router (decode failure), so drop accounting stays complete.
+func (r *Router) CountMalformed() {
+	r.mu.Lock()
+	r.nackMalformed++
+	r.mu.Unlock()
+}
+
+// Pump drains every tenant queue through the fleet: frames feed the
+// count-based Batcher in sorted tenant order (deterministic for any
+// map layout), flush into ProcessBatches, and idle tenants detach.
+// Call it from one driver goroutine on a steady cadence; it returns
+// the number of frames processed this call. A *BatchMismatchError from
+// a concurrent Attach is retried internally (the Batcher keeps its
+// queues), so no frame is lost to a slot-count race.
+func (r *Router) Pump() (int, error) {
+	r.procMu.Lock()
+	defer r.procMu.Unlock()
+
+	// Move queued frames out under mu, then feed without holding it so
+	// Submit never blocks on the fleet.
+	r.mu.Lock()
+	type drained struct {
+		t      *tenant
+		slot   int
+		frames []vidsim.Frame
+	}
+	var work []drained
+	for _, id := range r.sortedTenantsLocked() {
+		t := r.tenants[id]
+		if len(t.queue) == 0 || t.slot < 0 {
+			continue
+		}
+		work = append(work, drained{t: t, slot: t.slot, frames: t.queue})
+		t.queue = nil
+	}
+	r.mu.Unlock()
+
+	total := 0
+	flush := func(evs [][]videodrift.Event, err error) error {
+		if err != nil {
+			return err
+		}
+		for _, shard := range evs {
+			total += len(shard)
+		}
+		return nil
+	}
+	for _, w := range work {
+		for _, f := range w.frames {
+			if err := flush(r.batcher.Add(w.slot, f)); err != nil {
+				if err := r.retryFlush(flush, err); err != nil {
+					return total, err
+				}
+			}
+		}
+	}
+	if err := flush(r.batcher.Flush()); err != nil {
+		if err := r.retryFlush(flush, err); err != nil {
+			return total, err
+		}
+	}
+
+	r.mu.Lock()
+	r.processed += int64(total)
+	for _, w := range work {
+		w.t.processed += int64(len(w.frames))
+	}
+	now := r.cfg.Now()
+	if r.cfg.IdleEvict > 0 {
+		for _, id := range r.sortedTenantsLocked() {
+			t := r.tenants[id]
+			if t.slot < 0 || len(t.queue) > 0 || now.Sub(t.lastSeen) < r.cfg.IdleEvict {
+				continue
+			}
+			if err := r.sm.Detach(t.slot); err == nil {
+				t.slot = -1
+				r.evictions++
+			}
+		}
+	}
+	r.mu.Unlock()
+	return total, nil
+}
+
+// retryFlush re-runs a failed batcher flush: a BatchMismatchError
+// means a tenant attached between queueing and flushing, and Flush
+// pads to the new slot count on the retry. Anything else (or a retry
+// that keeps failing) is a real fault.
+func (r *Router) retryFlush(flush func([][]videodrift.Event, error) error, err error) error {
+	var mismatch *videodrift.BatchMismatchError
+	for attempt := 0; attempt < 3 && errors.As(err, &mismatch); attempt++ {
+		if err = flush(r.batcher.Flush()); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// sortedTenantsLocked returns the tenant ids in sorted order. Callers
+// hold r.mu.
+func (r *Router) sortedTenantsLocked() []string {
+	ids := make([]string, 0, len(r.tenants))
+	for id := range r.tenants { //lint:allow determinism ids are sorted before use
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// TenantStats is one tenant's ingestion counters.
+type TenantStats struct {
+	Tenant string `json:"tenant"`
+	// Slot is the tenant's shard slot, -1 while idle-evicted.
+	Slot int `json:"slot"`
+	// Queued is the current queue depth; QueueCap its bound.
+	Queued   int `json:"queued"`
+	QueueCap int `json:"queue_cap"`
+	// Accepted counts frames queued; Processed frames that reached the
+	// fleet; Dups idempotent re-acks; NackedFull backpressure
+	// rejections; NackedSeq sequence-gap rejections.
+	Accepted   int64 `json:"accepted"`
+	Processed  int64 `json:"processed"`
+	Dups       int64 `json:"dups"`
+	NackedFull int64 `json:"nacked_full"`
+	NackedSeq  int64 `json:"nacked_seq"`
+}
+
+// Stats is the router's aggregate view, for /healthz and /metrics.
+type Stats struct {
+	// Known is every tenant ever seen; Active the currently attached.
+	Known  int `json:"known_tenants"`
+	Active int `json:"active_tenants"`
+	// Aggregate counters across tenants.
+	Accepted        int64 `json:"accepted"`
+	Processed       int64 `json:"processed"`
+	Dups            int64 `json:"dups"`
+	NackedFull      int64 `json:"nacked_full"`
+	NackedSeq       int64 `json:"nacked_seq"`
+	NackedLimit     int64 `json:"nacked_limit"`
+	NackedMalformed int64 `json:"nacked_malformed"`
+	Attaches        int64 `json:"attaches"`
+	Evictions       int64 `json:"evictions"`
+	// Tenants holds the per-tenant detail, sorted by tenant id.
+	Tenants []TenantStats `json:"tenants"`
+}
+
+// Stats snapshots the router's counters.
+func (r *Router) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Stats{
+		Known:           len(r.tenants),
+		Active:          r.activeLocked(),
+		Accepted:        r.accepted,
+		Processed:       r.processed,
+		Dups:            r.dups,
+		NackedFull:      r.nackFull,
+		NackedSeq:       r.nackSeq,
+		NackedLimit:     r.nackLimit,
+		NackedMalformed: r.nackMalformed,
+		Attaches:        r.attaches,
+		Evictions:       r.evictions,
+	}
+	for _, id := range r.sortedTenantsLocked() {
+		t := r.tenants[id]
+		s.Tenants = append(s.Tenants, TenantStats{
+			Tenant:     t.id,
+			Slot:       t.slot,
+			Queued:     len(t.queue),
+			QueueCap:   r.cfg.QueueCap,
+			Accepted:   t.accepted,
+			Processed:  t.processed,
+			Dups:       t.dups,
+			NackedFull: t.nackFull,
+			NackedSeq:  t.nackSeq,
+		})
+	}
+	return s
+}
+
+// Tracer returns the tenant's telemetry tracer (nil when unknown or
+// when the router shares the fleet's base tracer).
+func (r *Router) Tracer(tenant string) *telemetry.Tracer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t := r.tenants[tenant]; t != nil {
+		return t.tracer
+	}
+	return nil
+}
+
+// WritePrometheus emits the router's counters in Prometheus
+// text-exposition format, prefixed ingest_.
+func (r *Router) WritePrometheus(w io.Writer) error {
+	s := r.Stats()
+	var err error
+	p := func(format string, args ...interface{}) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("# TYPE ingest_tenants_known gauge\ningest_tenants_known %d\n", s.Known)
+	p("# TYPE ingest_tenants_active gauge\ningest_tenants_active %d\n", s.Active)
+	p("# TYPE ingest_frames_accepted_total counter\ningest_frames_accepted_total %d\n", s.Accepted)
+	p("# TYPE ingest_frames_processed_total counter\ningest_frames_processed_total %d\n", s.Processed)
+	p("# TYPE ingest_frames_dup_total counter\ningest_frames_dup_total %d\n", s.Dups)
+	p("# TYPE ingest_nack_total counter\n")
+	p("ingest_nack_total{code=\"queue_full\"} %d\n", s.NackedFull)
+	p("ingest_nack_total{code=\"bad_seq\"} %d\n", s.NackedSeq)
+	p("ingest_nack_total{code=\"tenant_limit\"} %d\n", s.NackedLimit)
+	p("ingest_nack_total{code=\"malformed\"} %d\n", s.NackedMalformed)
+	p("# TYPE ingest_tenant_attach_total counter\ningest_tenant_attach_total %d\n", s.Attaches)
+	p("# TYPE ingest_tenant_evict_total counter\ningest_tenant_evict_total %d\n", s.Evictions)
+	p("# TYPE ingest_tenant_queue_depth gauge\n")
+	for _, t := range s.Tenants {
+		p("ingest_tenant_queue_depth{tenant=%q} %d\n", t.Tenant, t.Queued)
+	}
+	return err
+}

@@ -1,0 +1,275 @@
+package ingest
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// DefaultReadTimeout bounds how long the server waits for one complete
+// message — the slow-loris guard: a connection that trickles bytes
+// slower than a message per timeout is cut, it cannot pin a handler
+// goroutine forever.
+const DefaultReadTimeout = 30 * time.Second
+
+// ServerConfig parameterizes a Server.
+type ServerConfig struct {
+	// ReadTimeout is the per-message read deadline (<= 0 means
+	// DefaultReadTimeout).
+	ReadTimeout time.Duration
+	// Now is the deadline clock (nil means time.Now).
+	Now func() time.Time
+	// Logf logs connection-level faults (nil is silent).
+	Logf func(format string, args ...interface{})
+}
+
+// Server accepts tenant connections speaking the wire protocol and
+// routes their frames. Each connection is one goroutine running a
+// strict request/response loop: read one message, answer one Ack or
+// Nack. Header-level damage (bad magic, truncation, version skew)
+// desynchronizes the stream, so those close the connection after a
+// best-effort Nack; payload-level damage (CRC mismatch, malformed
+// frame) leaves the stream aligned, so those Nack and keep reading —
+// a client with one corrupted frame does not lose its connection.
+type Server struct {
+	router *Router
+	cfg    ServerConfig
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer builds a server over a router.
+func NewServer(r *Router, cfg ServerConfig) *Server {
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = DefaultReadTimeout
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Server{router: r, cfg: cfg, conns: make(map[net.Conn]struct{})}
+}
+
+// ListenAndServe listens on addr (TCP) and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Close. It always returns a
+// non-nil error; after Close the error is net.ErrClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return net.ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Addr returns the listener's address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting, closes every live connection and waits for
+// the handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns { //lint:allow determinism closing every connection is order-independent
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// serveConn runs one connection's request/response loop.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		conn.SetReadDeadline(s.cfg.Now().Add(s.cfg.ReadTimeout))
+		msgType, payload, err := s.readMsg(conn)
+		switch {
+		case err == nil:
+		case errors.Is(err, io.EOF):
+			return // clean close between messages
+		case errors.Is(err, ErrChecksum):
+			// The stream is still aligned (the declared payload was fully
+			// read); reject the frame, keep the connection.
+			s.router.CountMalformed()
+			s.writeMsg(conn, EncodeNack(Nack{Code: NackMalformed, Reason: "payload checksum mismatch"}))
+			continue
+		default:
+			// Header damage, truncation, version skew, oversize, timeout:
+			// the stream position is unknowable — best-effort Nack, drop
+			// the connection.
+			s.router.CountMalformed()
+			s.logf("ingest: dropping connection %s: %v", conn.RemoteAddr(), err)
+			s.writeMsg(conn, EncodeNack(Nack{Code: NackMalformed, Reason: err.Error()}))
+			return
+		}
+		if msgType != MsgFrame {
+			s.writeMsg(conn, EncodeNack(Nack{Code: NackMalformed,
+				Reason: fmt.Sprintf("unexpected message type %d", msgType)}))
+			continue
+		}
+		m, err := DecodeFrameMsg(payload)
+		if err != nil {
+			s.router.CountMalformed()
+			s.writeMsg(conn, EncodeNack(Nack{Code: NackMalformed, Reason: err.Error()}))
+			continue
+		}
+		if !s.writeMsg(conn, verdictWire(m.Seq, s.router.Submit(m))) {
+			return
+		}
+	}
+}
+
+// readMsg reads one message, mapping a read-deadline miss to a typed
+// slow-client error.
+func (s *Server) readMsg(conn net.Conn) (uint8, []byte, error) {
+	msgType, payload, err := ReadMsg(conn)
+	var ne net.Error
+	if err != nil && errors.As(err, &ne) && ne.Timeout() {
+		return 0, nil, fmt.Errorf("no complete message within %v (slow client)", s.cfg.ReadTimeout)
+	}
+	return msgType, payload, err
+}
+
+// writeMsg writes one wire message, reporting whether the connection
+// is still usable.
+func (s *Server) writeMsg(conn net.Conn, b []byte) bool {
+	if _, err := conn.Write(b); err != nil {
+		s.logf("ingest: write to %s: %v", conn.RemoteAddr(), err)
+		return false
+	}
+	return true
+}
+
+// verdictWire renders a router verdict as the wire response for seq.
+func verdictWire(seq uint64, v Verdict) []byte {
+	if v.Ack {
+		return EncodeAck(Ack{Seq: seq, Dup: v.Dup})
+	}
+	return EncodeNack(Nack{
+		Seq:              seq,
+		Code:             v.Code,
+		RetryAfterMillis: uint32(v.RetryAfter / time.Millisecond),
+		Reason:           v.Reason,
+	})
+}
+
+// HTTPHandler is the HTTP POST fallback: the request body is one
+// complete wire frame message (header + payload, exactly the bytes a
+// TCP client writes), the response maps the verdict onto HTTP status
+// codes — 200 accepted, 400 malformed, 409 sequence gap, 429 queue
+// full (with Retry-After), 503 tenant limit (with Retry-After).
+// Integrity still rides on the protocol CRC, so a proxy that mangles
+// bodies is caught the same way a flaky wire is.
+func (s *Server) HTTPHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			http.Error(w, "POST one wire frame message", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(req.Body, HeaderSize+MaxPayload+1))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		msgType, payload, err := DecodeMsg(body)
+		if err != nil {
+			s.router.CountMalformed()
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if msgType != MsgFrame {
+			http.Error(w, fmt.Sprintf("unexpected message type %d", msgType), http.StatusBadRequest)
+			return
+		}
+		m, err := DecodeFrameMsg(payload)
+		if err != nil {
+			s.router.CountMalformed()
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		v := s.router.Submit(m)
+		w.Header().Set("Content-Type", "application/json")
+		if !v.Ack {
+			if v.RetryAfter > 0 {
+				secs := int((v.RetryAfter + time.Second - 1) / time.Second)
+				w.Header().Set("Retry-After", fmt.Sprint(secs))
+			}
+			code := http.StatusBadRequest
+			switch v.Code {
+			case NackQueueFull:
+				code = http.StatusTooManyRequests
+			case NackTenantLimit:
+				code = http.StatusServiceUnavailable
+			case NackBadSeq:
+				code = http.StatusConflict
+			case NackInternal:
+				code = http.StatusInternalServerError
+			}
+			w.WriteHeader(code)
+			json.NewEncoder(w).Encode(map[string]interface{}{
+				"nack": v.Code, "seq": m.Seq, "reason": v.Reason,
+			})
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]interface{}{"ack": m.Seq, "dup": v.Dup})
+	})
+}

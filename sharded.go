@@ -2,6 +2,7 @@ package videodrift
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -15,6 +16,29 @@ import (
 // panic-restarts the supervisor grants one shard on a single frame
 // before its circuit breaker trips and the shard is declared failed.
 const DefaultMaxRestarts = 3
+
+// BatchMismatchError reports a ProcessBatch/ProcessBatches call whose
+// frame or batch count does not line up with the fleet's current slot
+// count. With dynamic Attach/Detach the slot count can move between
+// assembling batches and submitting them, so callers that feed a
+// dynamic fleet should re-size and retry on this error rather than
+// treat it as fatal.
+type BatchMismatchError struct {
+	Batches int // batches (or frames) the caller supplied
+	Slots   int // shard slots the fleet currently has
+}
+
+func (e *BatchMismatchError) Error() string {
+	return fmt.Sprintf("videodrift: %d batches for %d shard slots", e.Batches, e.Slots)
+}
+
+// DetachedSlotError reports frames addressed to a shard slot that is
+// currently detached (no tenant owns it).
+type DetachedSlotError struct{ Slot int }
+
+func (e *DetachedSlotError) Error() string {
+	return fmt.Sprintf("videodrift: frames addressed to detached shard slot %d", e.Slot)
+}
 
 // ShardedOptions configures a ShardedMonitor: the per-shard monitor
 // options plus the fan-out shape and the supervisor's fault policy.
@@ -74,10 +98,21 @@ type ShardedOptions struct {
 // the shard is declared failed and later frames for it are dropped and
 // counted, while the remaining shards keep serving.
 type ShardedMonitor struct {
+	// mu guards the shards/states slice headers against dynamic
+	// Attach/Detach. Batch processing and Health hold the read lock (slot
+	// contents are still single-writer per slot: one worker per shard plus
+	// per-field atomics); Attach and Detach take the write lock, so the
+	// slot set never moves under a running batch.
+	mu      sync.RWMutex
 	shards  []*Monitor
 	states  []*shardState
 	pool    *parallel.Pool
 	labeler Labeler
+
+	// baseModels and baseOpts are the shared provisioned entries and the
+	// per-shard option template dynamic Attach builds new slots from.
+	baseModels []*Model
+	baseOpts   Options
 
 	faults       *faults.Injector
 	maxRestarts  int
@@ -101,6 +136,26 @@ type shardState struct {
 	dropped   atomic.Int64 // frames discarded after the breaker tripped
 	failed    atomic.Bool  // crash-loop breaker tripped
 	busySince atomic.Int64 // unix-nanos the in-flight batch started; 0 when idle
+
+	// statsMu guards stats, the post-batch metrics mirror observers
+	// (Stats, ShardStats — e.g. a /healthz handler) read instead of the
+	// live pipeline, which only the shard's worker may touch mid-batch.
+	statsMu sync.Mutex
+	stats   core.Metrics
+}
+
+// setStats publishes the shard's post-batch metrics for observers.
+func (st *shardState) setStats(m core.Metrics) {
+	st.statsMu.Lock()
+	st.stats = m
+	st.statsMu.Unlock()
+}
+
+// loadStats reads the shard's last published metrics.
+func (st *shardState) loadStats() core.Metrics {
+	st.statsMu.Lock()
+	defer st.statsMu.Unlock()
+	return st.stats
 }
 
 // save records the shard's post-batch state: the pipeline snapshot plus
@@ -115,6 +170,7 @@ func (st *shardState) save(m *Monitor) {
 		st.entries = snap.Entries()
 		st.regEpoch = snap.Epoch()
 	}
+	st.setStats(m.pipe.Metrics())
 }
 
 // ShardHealth is the supervisor's live view of one shard.
@@ -125,6 +181,9 @@ type ShardHealth struct {
 	State Health
 	// Stalled reports a frame in flight longer than StallTimeout.
 	Stalled bool
+	// Detached reports an unoccupied dynamic slot (no tenant attached);
+	// a detached slot is healthy and never stalled.
+	Detached bool
 	// Restarts is the total number of supervised worker restarts.
 	Restarts int
 	// DroppedFrames counts frames discarded after the breaker tripped.
@@ -161,6 +220,7 @@ func NewShardedMonitor(models []*Model, labeler Labeler, opts ShardedOptions) *S
 		panic(fmt.Sprintf("videodrift: %d tracers for %d shards", len(opts.Tracers), opts.Shards))
 	}
 	sm := newSharded(opts.Shards, labeler, opts)
+	sm.baseModels = models
 	// Warm the shared feature matrices once, outside the fan-out, so no
 	// shard pays the flatten on its first frame.
 	for _, m := range models {
@@ -177,6 +237,22 @@ func NewShardedMonitor(models []*Model, labeler Labeler, opts ShardedOptions) *S
 	return sm
 }
 
+// NewDynamicSharded builds a fleet with zero initial shards over the
+// shared models: slots are claimed with Attach as tenants appear and
+// released with Detach as they go idle — the multi-tenant ingestion
+// shape, where the network tier owns the tenant↔slot mapping. The
+// expensive read-only state (feature matrices, calibration, classifier
+// weights) is shared exactly as in NewShardedMonitor, so serving N
+// tenants costs O(models) provisioned state, not O(models × tenants).
+func NewDynamicSharded(models []*Model, labeler Labeler, opts ShardedOptions) *ShardedMonitor {
+	sm := newSharded(0, labeler, opts)
+	sm.baseModels = models
+	for _, m := range models {
+		m.FeatMatrix()
+	}
+	return sm
+}
+
 // newSharded allocates the supervisor shell shared by NewShardedMonitor
 // and ResumeSharded.
 func newSharded(n int, labeler Labeler, opts ShardedOptions) *ShardedMonitor {
@@ -185,6 +261,7 @@ func newSharded(n int, labeler Labeler, opts ShardedOptions) *ShardedMonitor {
 		states:       make([]*shardState, n),
 		pool:         parallel.Shared(opts.Workers),
 		labeler:      labeler,
+		baseOpts:     opts.Options,
 		faults:       opts.Faults,
 		maxRestarts:  opts.MaxRestarts,
 		stallTimeout: opts.StallTimeout,
@@ -212,61 +289,155 @@ func (sm *ShardedMonitor) shardOptions(i int, opts ShardedOptions) Options {
 	return shardOpts
 }
 
-// Shards returns the number of streams the monitor drives.
-func (sm *ShardedMonitor) Shards() int { return len(sm.shards) }
+// Shards returns the number of shard slots (attached or detached).
+func (sm *ShardedMonitor) Shards() int {
+	sm.mu.RLock()
+	defer sm.mu.RUnlock()
+	return len(sm.shards)
+}
 
-// Shard returns the monitor driving stream i — use it for per-shard
-// queries (Current, Models, Telemetry). The returned Monitor must not be
-// fed frames concurrently with ProcessBatch; feeding it directly also
-// bypasses the supervisor (no fault injection, panic recovery or
-// snapshotting).
-func (sm *ShardedMonitor) Shard(i int) *Monitor { return sm.shards[i] }
+// Active returns the number of attached (occupied) shard slots.
+func (sm *ShardedMonitor) Active() int {
+	sm.mu.RLock()
+	defer sm.mu.RUnlock()
+	n := 0
+	for _, m := range sm.shards {
+		if m != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Shard returns the monitor driving stream i (nil for a detached slot) —
+// use it for per-shard queries (Current, Models, Telemetry). The
+// returned Monitor must not be fed frames concurrently with
+// ProcessBatch; feeding it directly also bypasses the supervisor (no
+// fault injection, panic recovery or snapshotting).
+func (sm *ShardedMonitor) Shard(i int) *Monitor {
+	sm.mu.RLock()
+	defer sm.mu.RUnlock()
+	return sm.shards[i]
+}
+
+// Attach claims a shard slot for a new stream: the lowest detached slot
+// is reused, or a fresh one is appended. The new shard is a full
+// Monitor over the shared model entries (deduped exactly as
+// checkpointing shares them), seeded by slot index — so a stream
+// attached to slot i behaves bit-identically to shard i of a fixed
+// fleet. tr optionally attaches a per-stream telemetry tracer (nil
+// shares the fleet's base tracer). Safe to call while batches run;
+// Attach briefly blocks new ProcessBatch calls, never in-flight frames.
+func (sm *ShardedMonitor) Attach(tr *Tracer) (int, error) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	if len(sm.baseModels) == 0 {
+		return 0, fmt.Errorf("videodrift: Attach on a fleet with no base models")
+	}
+	slot := -1
+	for i, m := range sm.shards {
+		if m == nil {
+			slot = i
+			break
+		}
+	}
+	if slot == -1 {
+		slot = len(sm.shards)
+		sm.shards = append(sm.shards, nil)
+		sm.states = append(sm.states, nil)
+	}
+	shardOpts := sm.baseOpts
+	if tr != nil {
+		shardOpts.Tracer = tr
+	}
+	if sm.faults != nil {
+		shardOpts.Pipeline.TrainFault = sm.faults.TrainFault(slot)
+	}
+	shardOpts.Pipeline.Seed += int64(slot)
+	m := NewMonitor(sm.baseModels, sm.labeler, shardOpts)
+	st := &shardState{opts: shardOpts}
+	st.save(m)
+	sm.shards[slot] = m
+	sm.states[slot] = st
+	return slot, nil
+}
+
+// Detach releases slot i: the shard's monitor (its private drift state,
+// RNG streams and any breaker bookkeeping) is dropped and the slot
+// becomes reusable by the next Attach. The shared model entries are
+// untouched. It is an error to detach a slot that is not attached.
+func (sm *ShardedMonitor) Detach(i int) error {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	if i < 0 || i >= len(sm.shards) || sm.shards[i] == nil {
+		return &DetachedSlotError{Slot: i}
+	}
+	sm.shards[i] = nil
+	sm.states[i] = nil
+	return nil
+}
 
 // ProcessBatch runs one frame per shard concurrently: frames[i] goes to
 // shard i, and the returned events line up index-for-index. len(frames)
-// must equal Shards. The fan-out is bounded by Workers; each shard's
-// event stream is identical to feeding its Monitor serially. A failed
-// shard (breaker tripped) yields zero Events and counts the frames it
-// drops in Health().Shards[i].DroppedFrames. It is the batch-size-1
-// case of ProcessBatches.
-func (sm *ShardedMonitor) ProcessBatch(frames []Frame) []Event {
+// must equal Shards (a *BatchMismatchError otherwise; with a dynamic
+// fleet the slot count can move, so callers re-size and retry). The
+// fan-out is bounded by Workers; each shard's event stream is identical
+// to feeding its Monitor serially. A failed shard (breaker tripped)
+// yields zero Events and counts the frames it drops in
+// Health().Shards[i].DroppedFrames. It is the batch-size-1 case of
+// ProcessBatches.
+func (sm *ShardedMonitor) ProcessBatch(frames []Frame) ([]Event, error) {
+	sm.mu.RLock()
+	defer sm.mu.RUnlock()
 	if len(frames) != len(sm.shards) {
-		panic(fmt.Sprintf("videodrift: ProcessBatch with %d frames for %d shards", len(frames), len(sm.shards)))
+		return nil, &BatchMismatchError{Batches: len(frames), Slots: len(sm.shards)}
+	}
+	for i, m := range sm.shards {
+		if m == nil {
+			return nil, &DetachedSlotError{Slot: i}
+		}
 	}
 	events := make([]Event, len(frames))
 	sm.pool.ForEach(len(frames), func(i int) {
 		sm.processShardBatch(i, frames[i:i+1:i+1], events[i:i+1])
 	})
-	return events
+	return events, nil
 }
 
 // ProcessBatches runs a micro-batch of consecutive frames per shard
 // concurrently: batches[i] goes to shard i in order, and events[i][j]
 // reports what shard i did with batches[i][j]. len(batches) must equal
-// Shards; batches may be ragged or empty (shards need not advance in
-// lockstep within one call). Each shard's event stream is bit-identical
-// to feeding its Monitor serially, under any batch size and worker
-// count — batching only amortizes the supervisor's per-call snapshot
-// over the batch. A panic anywhere in a shard's batch restores the
-// shard to the batch start (pipeline snapshot plus forensics rewind)
-// and re-runs the whole batch; a crash loop trips the breaker and drops
-// the batch.
-func (sm *ShardedMonitor) ProcessBatches(batches [][]Frame) [][]Event {
+// Shards (a *BatchMismatchError otherwise) and a non-empty batch for a
+// detached slot is a *DetachedSlotError; batches may be ragged or empty
+// (shards need not advance in lockstep within one call). Each shard's
+// event stream is bit-identical to feeding its Monitor serially, under
+// any batch size and worker count — batching only amortizes the
+// supervisor's per-call snapshot over the batch. A panic anywhere in a
+// shard's batch restores the shard to the batch start (pipeline
+// snapshot plus forensics rewind) and re-runs the whole batch; a crash
+// loop trips the breaker and drops the batch.
+func (sm *ShardedMonitor) ProcessBatches(batches [][]Frame) ([][]Event, error) {
+	sm.mu.RLock()
+	defer sm.mu.RUnlock()
 	if len(batches) != len(sm.shards) {
-		panic(fmt.Sprintf("videodrift: ProcessBatches with %d batches for %d shards", len(batches), len(sm.shards)))
+		return nil, &BatchMismatchError{Batches: len(batches), Slots: len(sm.shards)}
 	}
 	events := make([][]Event, len(batches))
 	for i, b := range batches {
-		if len(b) > 0 {
-			events[i] = make([]Event, len(b))
+		if len(b) == 0 {
+			continue
 		}
+		if sm.shards[i] == nil {
+			return nil, &DetachedSlotError{Slot: i}
+		}
+		events[i] = make([]Event, len(b))
 	}
 	sm.pool.ForEach(len(batches), func(i int) {
 		if len(batches[i]) > 0 {
 			sm.processShardBatch(i, batches[i], events[i])
 		}
 	})
-	return events
+	return events, nil
 }
 
 // processShardBatch feeds one shard a run of consecutive frames under
@@ -375,8 +546,14 @@ func (sm *ShardedMonitor) restore(i int) error {
 // (e.g. an HTTP health handler) while ProcessBatch runs.
 func (sm *ShardedMonitor) Health() ShardedHealth {
 	now := sm.clock()
+	sm.mu.RLock()
+	defer sm.mu.RUnlock()
 	h := ShardedHealth{Shards: make([]ShardHealth, len(sm.shards))}
 	for i, st := range sm.states {
+		if st == nil {
+			h.Shards[i] = ShardHealth{Detached: true}
+			continue
+		}
 		sh := ShardHealth{
 			State:         sm.shards[i].Health(),
 			Restarts:      int(st.restarts.Load()),
@@ -401,8 +578,17 @@ func (sm *ShardedMonitor) Health() ShardedHealth {
 	return h
 }
 
-// ShardStats returns shard i's metrics.
-func (sm *ShardedMonitor) ShardStats(i int) Metrics { return sm.shards[i].Stats() }
+// ShardStats returns shard i's metrics (zero for a detached slot).
+// Like Stats it reads the post-batch mirror, so it is safe to call
+// while the shard is processing.
+func (sm *ShardedMonitor) ShardStats(i int) Metrics {
+	sm.mu.RLock()
+	defer sm.mu.RUnlock()
+	if sm.shards[i] == nil {
+		return Metrics{}
+	}
+	return sm.states[i].loadStats()
+}
 
 // Batcher accumulates per-shard frames and flushes them into a
 // ShardedMonitor as micro-batches, amortizing the supervisor's
@@ -421,7 +607,9 @@ type Batcher struct {
 
 // NewBatcher returns a batcher flushing size frames per shard at a time
 // (size <= 1 degenerates to flushing on every Add — per-frame
-// supervision).
+// supervision). The queue set grows with the fleet: frames may be added
+// for any slot a later Flush will see, so a dynamic fleet can share one
+// batcher across Attach calls.
 func (sm *ShardedMonitor) NewBatcher(size int) *Batcher {
 	if size < 1 {
 		size = 1
@@ -429,26 +617,37 @@ func (sm *ShardedMonitor) NewBatcher(size int) *Batcher {
 	return &Batcher{sm: sm, size: size, queues: make([][]Frame, sm.Shards())}
 }
 
-// Add queues one frame for a shard. When the shard's queue reaches the
-// batch size every queued frame is flushed, returning the per-shard
-// events (indexed by shard, in enqueue order); otherwise Add returns
-// nil.
-func (b *Batcher) Add(shard int, f Frame) [][]Event {
+// Add queues one frame for a shard slot. When the slot's queue reaches
+// the batch size every queued frame is flushed, returning the per-shard
+// events (indexed by slot, in enqueue order); otherwise Add returns
+// (nil, nil). A flush error leaves every queue intact (see Flush).
+func (b *Batcher) Add(shard int, f Frame) ([][]Event, error) {
+	for shard >= len(b.queues) {
+		b.queues = append(b.queues, nil)
+	}
 	b.queues[shard] = append(b.queues[shard], f)
 	if len(b.queues[shard]) >= b.size {
 		return b.Flush()
 	}
-	return nil
+	return nil, nil
 }
 
 // Queued reports how many frames shard i currently has waiting.
-func (b *Batcher) Queued(shard int) int { return len(b.queues[shard]) }
+func (b *Batcher) Queued(shard int) int {
+	if shard >= len(b.queues) {
+		return 0
+	}
+	return len(b.queues[shard])
+}
 
 // Flush drains every queue through ProcessBatches and returns the
-// per-shard events, or nil when nothing is queued. Call it at
+// per-shard events, or (nil, nil) when nothing is queued. Call it at
 // end-of-stream (or from an external cadence the caller owns) so tail
-// frames are not held back.
-func (b *Batcher) Flush() [][]Event {
+// frames are not held back. On error — a slot count that moved under a
+// dynamic fleet, or frames for a slot detached since they were queued —
+// every queue is left intact so no frame is silently dropped; the
+// caller may re-route or retry.
+func (b *Batcher) Flush() ([][]Event, error) {
 	queued := false
 	for _, q := range b.queues {
 		if len(q) > 0 {
@@ -457,20 +656,38 @@ func (b *Batcher) Flush() [][]Event {
 		}
 	}
 	if !queued {
-		return nil
+		return nil, nil
 	}
-	events := b.sm.ProcessBatches(b.queues)
+	// A dynamic fleet may have grown since the last flush; pad so the
+	// batch shape matches the slot count. (Attach between this read and
+	// the call surfaces as a BatchMismatchError, which the caller
+	// retries — Flush keeps the queues.)
+	for n := b.sm.Shards(); len(b.queues) < n; {
+		b.queues = append(b.queues, nil)
+	}
+	events, err := b.sm.ProcessBatches(b.queues)
+	if err != nil {
+		return nil, err
+	}
 	for i := range b.queues {
 		b.queues[i] = b.queues[i][:0]
 	}
-	return events
+	return events, nil
 }
 
-// Stats aggregates metrics across all shards.
+// Stats aggregates metrics across all attached shards. Safe to call
+// while batches are in flight: it reads each shard's post-batch
+// metrics mirror, so a concurrent observer sees the state as of the
+// last completed batch, never a torn mid-batch view.
 func (sm *ShardedMonitor) Stats() Metrics {
+	sm.mu.RLock()
+	defer sm.mu.RUnlock()
 	var total core.Metrics
-	for _, m := range sm.shards {
-		s := m.Stats()
+	for i, m := range sm.shards {
+		if m == nil {
+			continue
+		}
+		s := sm.states[i].loadStats()
 		total.Frames += s.Frames
 		total.ModelInvocations += s.ModelInvocations
 		total.DriftsDetected += s.DriftsDetected

@@ -1,6 +1,7 @@
 package videodrift
 
 import (
+	"errors"
 	"testing"
 
 	"videodrift/internal/vidsim"
@@ -39,7 +40,7 @@ func TestShardedMatchesSerial(t *testing.T) {
 			for s := 0; s < shards; s++ {
 				batch[s] = streams[s][step]
 			}
-			for s, ev := range sm.ProcessBatch(batch) {
+			for s, ev := range mustBatch(sm, batch) {
 				got[s] = append(got[s], ev)
 			}
 		}
@@ -97,7 +98,7 @@ func TestShardedTracers(t *testing.T) {
 		vidsim.GenerateTrainingStride(facadeCond(vidsim.Day()), 16, 16, 60, 1, 42),
 		vidsim.GenerateTrainingStride(facadeCond(vidsim.Night()), 16, 16, 140, 1, 43)...)
 	for step := range steady {
-		sm.ProcessBatch([]Frame{steady[step], drifting[step]})
+		mustBatch(sm, []Frame{steady[step], drifting[step]})
 	}
 	if got := tracers[1].Snapshot().Drifts; got < 1 {
 		t.Errorf("drifting shard reported %d drifts in its tracer", got)
@@ -130,8 +131,46 @@ func TestShardedPanics(t *testing.T) {
 			Options: opts, Shards: 2, Tracers: []*Tracer{NewTracer(TracerConfig{})},
 		})
 	})
-	check("bad batch", func() {
-		sm := NewShardedMonitor([]*Model{day}, nil, ShardedOptions{Options: opts, Shards: 1})
-		sm.ProcessBatch(make([]Frame, 2))
-	})
+}
+
+// TestShardedBatchShapeErrors pins the typed-error contract that
+// replaced the old batch-shape panics: with dynamic attach/detach a
+// count mismatch is reachable in normal operation, so it must surface
+// as a retryable error, never a crash.
+func TestShardedBatchShapeErrors(t *testing.T) {
+	opts := Defaults(facadeDim, facadeClasses)
+	day := BuildModel("day", facadeFrames(facadeCond(vidsim.Day()), 120, 21), nil, opts)
+	opts.Pipeline.Selector = MSBI
+	sm := NewShardedMonitor([]*Model{day}, nil, ShardedOptions{Options: opts, Shards: 1})
+
+	if _, err := sm.ProcessBatch(make([]Frame, 2)); err == nil {
+		t.Fatal("ProcessBatch with a frame-count mismatch returned no error")
+	} else {
+		var mismatch *BatchMismatchError
+		if !errors.As(err, &mismatch) || mismatch.Batches != 2 || mismatch.Slots != 1 {
+			t.Fatalf("ProcessBatch mismatch error = %v", err)
+		}
+	}
+	if _, err := sm.ProcessBatches(make([][]Frame, 3)); err == nil {
+		t.Fatal("ProcessBatches with a batch-count mismatch returned no error")
+	} else {
+		var mismatch *BatchMismatchError
+		if !errors.As(err, &mismatch) || mismatch.Batches != 3 || mismatch.Slots != 1 {
+			t.Fatalf("ProcessBatches mismatch error = %v", err)
+		}
+	}
+
+	// A batcher whose queues outgrew the fleet reports the mismatch on
+	// flush and keeps the frames (no silent drop).
+	b := sm.NewBatcher(8)
+	f := facadeFrames(facadeCond(vidsim.Day()), 1, 22)[0]
+	if _, err := b.Add(2, f); err != nil {
+		t.Fatalf("Batcher.Add below the flush threshold errored: %v", err)
+	}
+	if _, err := b.Flush(); err == nil {
+		t.Fatal("Batcher.Flush with queues beyond the fleet returned no error")
+	}
+	if b.Queued(2) != 1 {
+		t.Fatalf("queued = %d after a failed flush, want 1 (frames must survive errors)", b.Queued(2))
+	}
 }
