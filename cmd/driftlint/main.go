@@ -1,14 +1,19 @@
-// Command driftlint is the repo's invariant multichecker: five custom
+// Command driftlint is the repo's invariant multichecker: nine custom
 // analyzers that mechanically enforce what the test suite can only
 // sample — restart determinism (no wall clock / global randomness /
 // unordered iteration in replay-critical packages), checkpoint
 // completeness (every snapshot field covered by encode and decode),
 // nil-safe telemetry, tolerance-based float comparison in the
-// statistical packages, and registry lock discipline.
+// statistical packages, registry lock discipline, goroutine stop
+// paths, lock-acquisition-order cycles, wire-codec field and
+// integrity coverage, and enum-surface exhaustiveness. The per-package
+// passes and the whole-program passes share one type-checked load and
+// one cross-package fact layer (DESIGN.md §10, §15).
 //
 // Usage:
 //
 //	driftlint [package pattern ...]    # default ./...
+//	driftlint -timing [...]            # print the load/facts/analyze split
 //	driftlint -help                    # list analyzers
 //
 // Exit status: 0 clean, 1 findings, 2 load failure. Suppress a finding

@@ -320,6 +320,12 @@ func main() {
 	ckptReq := make(chan chan *videodrift.Checkpoint)
 	streamDone := make(chan struct{})
 
+	// shutdown is closed once on SIGTERM/SIGINT; every periodic
+	// goroutine (ingest pump, checkpoint scheduler) selects on it so the
+	// process stops pumping before it flushes the final checkpoint.
+	shutdown := make(chan struct{})
+	pumpDone := make(chan struct{})
+
 	// With -ingest-addr, frames come off the network: the TCP wire
 	// server accepts tenant streams, the router queues them with
 	// backpressure, and a pump goroutine drains the queues through the
@@ -349,14 +355,20 @@ func main() {
 			}
 		}()
 		go func() {
+			defer close(pumpDone)
 			tick := time.NewTicker(2 * time.Millisecond)
 			defer tick.Stop()
-			for range tick.C {
-				n, err := router.Pump()
-				if err != nil {
-					log.Printf("ingest pump: %v", err)
+			for {
+				select {
+				case <-shutdown:
+					return
+				case <-tick.C:
+					n, err := router.Pump()
+					if err != nil {
+						log.Printf("ingest pump: %v", err)
+					}
+					processed.Add(int64(n))
 				}
-				processed.Add(int64(n))
 			}
 		}()
 		defer isrv.Close()
@@ -536,8 +548,13 @@ func main() {
 		go func() {
 			tick := time.NewTicker(*ckptEvery)
 			defer tick.Stop()
-			for range tick.C {
-				saveCheckpoint("interval")
+			for {
+				select {
+				case <-shutdown:
+					return
+				case <-tick.C:
+					saveCheckpoint("interval")
+				}
 			}
 		}()
 	}
@@ -752,15 +769,30 @@ func main() {
 	})
 
 	fmt.Fprintf(os.Stderr, "serving telemetry on %s (endpoints: /metrics /snapshot /events /healthz /debug/pprof/)\n", *addr)
+	hsrv := &http.Server{Addr: *addr, Handler: mux}
 	go func() {
-		log.Fatal(http.ListenAndServe(*addr, mux))
+		if err := hsrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
 	}()
 
-	// Block until SIGTERM/SIGINT; with persistence on, flush a final
-	// checkpoint so the next start resumes from the exact kill point.
+	// Block until SIGTERM/SIGINT, then stop the periodic goroutines and
+	// the telemetry listener before the final flush: the pump must have
+	// drained its last batch into the fleet so that, with persistence
+	// on, the final checkpoint captures the exact kill point.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	s := <-sig
+	close(shutdown)
+	if router != nil {
+		<-pumpDone
+		if n, err := router.Pump(); err != nil {
+			log.Printf("ingest final drain: %v", err)
+		} else {
+			processed.Add(int64(n))
+		}
+	}
+	hsrv.Close()
 	if st != nil {
 		fmt.Fprintf(os.Stderr, "%v: flushing final checkpoint to %s...\n", s, st.Dir())
 		saveCheckpoint("shutdown")

@@ -59,7 +59,7 @@ func Run(t *testing.T, a *driftlint.Analyzer, fixturePkgs ...string) {
 			t.Errorf("fixture %s does not type-check: %v", path, pkg.Err)
 			continue
 		}
-		diags := driftlint.Run([]*driftlint.Package{pkg}, []*driftlint.Analyzer{a})
+		diags := driftlint.Run(loader.Program([]*driftlint.Package{pkg}), []*driftlint.Analyzer{a})
 		wants, err := parseWants(pkg.Dir)
 		if err != nil {
 			t.Errorf("fixture %s: %v", path, err)

@@ -19,11 +19,13 @@ import (
 var CriticalPackages = []string{
 	"videodrift/internal/conformal",
 	"videodrift/internal/core",
+	"videodrift/internal/ingest",
 	"videodrift/internal/stats",
 	"videodrift/internal/store",
 	"videodrift/internal/parallel",
 	"videodrift/internal/faults",
 	"videodrift/internal/forensics",
+	"videodrift/internal/telemetry",
 }
 
 // randConstructors are the math/rand package-level functions that build

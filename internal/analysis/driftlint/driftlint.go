@@ -49,7 +49,13 @@ type Analyzer struct {
 	// Doc is the one-paragraph description `driftlint -help` prints.
 	Doc string
 	// Run inspects one package and reports findings through the pass.
+	// Nil for whole-program analyzers that only implement RunProgram.
 	Run func(*Pass) error
+	// RunProgram, when non-nil, runs once per driftlint invocation with
+	// the shared fact layer — the hook for analyzers whose invariant
+	// spans packages (lock ordering, goroutine stop paths). It runs
+	// after every per-package Run.
+	RunProgram func(*ProgPass) error
 }
 
 // A Diagnostic is one finding, positioned and attributed to its
@@ -71,6 +77,10 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Prog is the shared whole-program fact layer (never nil): the call
+	// graph and cross-package declarations per-package analyzers can
+	// chase spawn sites and lock paths through.
+	Prog *Program
 
 	pkg   *Package
 	diags *[]Diagnostic
@@ -109,8 +119,20 @@ func (p *Pass) HasFileDirective(name string) bool {
 	return false
 }
 
-// directiveIndex maps filename -> line -> analyzer names allowed there.
-type directiveIndex map[string]map[int][]string
+// allowDirective is one parsed //lint:allow comment. Malformed
+// directives (no analyzer name, no reason) are kept with bad set: they
+// suppress nothing and are reported by the directive validation pass —
+// a typo in a waiver must be a lint error, never a silent no-op.
+type allowDirective struct {
+	names  []string
+	reason string
+	pos    token.Position
+	bad    string // non-empty: why the directive failed to parse
+	used   bool   // suppressed at least one finding this run
+}
+
+// directiveIndex maps filename -> line -> directives on that line.
+type directiveIndex map[string]map[int][]*allowDirective
 
 // buildDirectives scans a package's comments for //lint:allow
 // directives and indexes them by position. A directive suppresses
@@ -125,47 +147,152 @@ func buildDirectives(fset *token.FileSet, files []*ast.File) directiveIndex {
 				if !strings.HasPrefix(text, "lint:allow") {
 					continue
 				}
-				rest := strings.TrimSpace(strings.TrimPrefix(text, "lint:allow"))
-				if rest == "" {
-					continue
-				}
-				names := strings.Split(strings.Fields(rest)[0], ",")
-				pos := fset.Position(c.Pos())
-				byLine := idx[pos.Filename]
+				d := parseAllow(strings.TrimPrefix(text, "lint:allow"))
+				d.pos = fset.Position(c.Pos())
+				byLine := idx[d.pos.Filename]
 				if byLine == nil {
-					byLine = map[int][]string{}
-					idx[pos.Filename] = byLine
+					byLine = map[int][]*allowDirective{}
+					idx[d.pos.Filename] = byLine
 				}
-				byLine[pos.Line] = append(byLine[pos.Line], names...)
+				byLine[d.pos.Line] = append(byLine[d.pos.Line], d)
 			}
 		}
 	}
 	return idx
 }
 
+// parseAllow parses the payload after "//lint:allow".
+func parseAllow(rest string) *allowDirective {
+	d := &allowDirective{}
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		d.bad = "missing analyzer name and reason (want //lint:allow <analyzer> <reason>)"
+		return d
+	}
+	fields := strings.Fields(rest)
+	d.names = strings.Split(fields[0], ",")
+	for _, n := range d.names {
+		if n == "" {
+			d.bad = fmt.Sprintf("empty analyzer name in %q", fields[0])
+			return d
+		}
+	}
+	d.reason = strings.TrimSpace(strings.TrimPrefix(rest, fields[0]))
+	if d.reason == "" {
+		d.bad = fmt.Sprintf("missing reason after %q — every waiver must say why", fields[0])
+	}
+	return d
+}
+
+// allowedAt reports whether a well-formed //lint:allow directive for the
+// analyzer covers the position's line, marking the directive used.
+// Malformed directives never suppress.
 func (p *Package) allowedAt(analyzer string, pos token.Position) bool {
 	byLine := p.allows[pos.Filename]
 	if byLine == nil {
 		return false
 	}
 	for _, line := range []int{pos.Line, pos.Line - 1} {
-		for _, name := range byLine[line] {
-			if name == analyzer {
-				return true
+		for _, d := range byLine[line] {
+			if d.bad != "" {
+				continue
+			}
+			for _, name := range d.names {
+				if name == analyzer {
+					d.used = true
+					return true
+				}
 			}
 		}
 	}
 	return false
 }
 
-// Run applies every analyzer to every package and returns the combined
-// findings sorted by position. Packages that failed to type-check
-// surface their first error as a diagnostic attributed to "typecheck"
-// and are skipped by the analyzers (their syntax info would be
-// unreliable).
-func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+// AllowAnalyzerName attributes directive-validation diagnostics: a
+// malformed, unknown-analyzer, or suppresses-nothing //lint:allow is
+// itself a lint error (it cannot be waived — fix or delete it).
+const AllowAnalyzerName = "allow"
+
+// validateDirectives checks every //lint:allow in the target packages
+// after the analyzers ran: the named analyzers must exist, the reason
+// must be present, and the directive must have suppressed something —
+// a directive on the wrong line silently allowing nothing is exactly
+// how a waived invariant regresses unnoticed.
+func validateDirectives(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	known := map[string]bool{}
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+		names = append(names, a.Name)
+	}
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
+	report := func(d *allowDirective, format string, args ...interface{}) {
+		diags = append(diags, Diagnostic{
+			Pos:      d.pos,
+			Analyzer: AllowAnalyzerName,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, pkg := range prog.Targets {
+		if pkg.Err != nil {
+			continue // analyzers did not run; "unused" would be noise
+		}
+		for _, file := range sortedKeys(pkg.allows) {
+			byLine := pkg.allows[file]
+			for _, line := range sortedIntKeys(byLine) {
+				for _, d := range byLine[line] {
+					switch {
+					case d.bad != "":
+						report(d, "malformed //lint:allow: %s", d.bad)
+					default:
+						ok := true
+						for _, n := range d.names {
+							if !known[n] {
+								ok = false
+								report(d, "//lint:allow names unknown analyzer %q (known: %s)",
+									n, strings.Join(names, ", "))
+							}
+						}
+						if ok && !d.used {
+							report(d, "//lint:allow %s suppresses no diagnostic on this or the next line — it is on the wrong line, or the finding is gone and the waiver should be deleted",
+								strings.Join(d.names, ","))
+						}
+					}
+				}
+			}
+		}
+	}
+	return diags
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedIntKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Run applies every analyzer to the program's target packages —
+// per-package Run passes over the shared type-checked cache, then
+// whole-program RunProgram passes over the shared fact layer, then the
+// //lint:allow directive validation — and returns the combined findings
+// sorted by position. Packages that failed to type-check surface their
+// first error as a diagnostic attributed to "typecheck" and are skipped
+// by the analyzers (their syntax info would be unreliable).
+func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Targets {
 		if pkg.Err != nil {
 			diags = append(diags, Diagnostic{
 				Pos:      pkg.ErrPos,
@@ -175,12 +302,16 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			continue
 		}
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				Prog:      prog,
 				pkg:       pkg,
 				diags:     &diags,
 			}
@@ -192,6 +323,19 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			}
 		}
 	}
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		pp := &ProgPass{Analyzer: a, Prog: prog, diags: &diags}
+		if err := a.RunProgram(pp); err != nil {
+			diags = append(diags, Diagnostic{
+				Analyzer: a.Name,
+				Message:  fmt.Sprintf("internal error: %v", err),
+			})
+		}
+	}
+	diags = append(diags, validateDirectives(prog, analyzers)...)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {

@@ -1,0 +1,12 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"videodrift/internal/analysis/analysistest"
+	"videodrift/internal/analysis/goroleak"
+)
+
+func TestGoroleak(t *testing.T) {
+	analysistest.Run(t, goroleak.Analyzer, "gorofix")
+}

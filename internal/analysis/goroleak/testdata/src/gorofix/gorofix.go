@@ -1,0 +1,166 @@
+// Package gorofix exercises goroleak: spawn sites with and without a
+// provable stop path.
+//
+//driftlint:goroutines
+package gorofix
+
+import (
+	"sync"
+	"time"
+)
+
+// leakyTicker ranges over a ticker channel: Stop never closes it, so
+// nothing can end the loop.
+func leakyTicker() {
+	go func() { // want `goroutine runs unbounded`
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		for range tick.C {
+		}
+	}()
+}
+
+// leakyLoop spins forever with no exit signal at all.
+func leakyLoop() {
+	go func() { // want `goroutine runs unbounded`
+		n := 0
+		for {
+			n++
+		}
+	}()
+}
+
+// leakyTickerSelect waits only on the ticker: a select whose every arm
+// is a ticker receive proves nothing about shutdown.
+func leakyTickerSelect() {
+	go func() { // want `goroutine runs unbounded`
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+			}
+		}
+	}()
+}
+
+// tickerStopIsNotAStop: a spawner-side Stop on the captured ticker
+// still never closes the channel the goroutine is ranging over.
+func tickerStopIsNotAStop() {
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	go func() { // want `goroutine runs unbounded`
+		for range tick.C {
+		}
+	}()
+}
+
+// stopsOnDone is the canonical fix for leakyTickerSelect: one arm
+// receives from a done channel.
+func stopsOnDone(done chan struct{}) {
+	go func() {
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+			case <-done:
+				return
+			}
+		}
+	}()
+}
+
+// boundedByWaitGroup hands bounded work back to a waiter.
+func boundedByWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+		}
+	}()
+}
+
+// drainsClosableChannel parks on a job queue the producer can close.
+func drainsClosableChannel(jobs chan int) {
+	go func() {
+		for range jobs {
+		}
+	}()
+}
+
+type worker struct {
+	done chan struct{}
+}
+
+// loopForever carries the unbounded loop for the cross-function cases:
+// the spawn site is judged through the call graph, not just its own
+// literal.
+func (w *worker) loopForever() {
+	for {
+	}
+}
+
+// loopUntilDone polls its done channel every lap.
+func (w *worker) loopUntilDone() {
+	for {
+		select {
+		case <-w.done:
+			return
+		default:
+		}
+	}
+}
+
+func (w *worker) shutdown() {}
+
+// spawnLeakyCallee: the leak lives in the callee, the report lands on
+// the spawn.
+func spawnLeakyCallee(w *worker) {
+	go w.loopForever() // want `goroutine runs unbounded`
+}
+
+// spawnStoppableCallee: so does the stop evidence.
+func spawnStoppableCallee(w *worker) {
+	go w.loopUntilDone()
+}
+
+type pump struct{ running bool }
+
+func (p *pump) Run() {
+	for {
+	}
+}
+
+func (p *pump) Stop() { p.running = false }
+
+// spawnerStopsPump: no evidence inside the goroutine, but the spawner
+// holds the pump and stops it.
+func spawnerStopsPump() {
+	p := &pump{}
+	go p.Run()
+	defer p.Stop()
+}
+
+// nestedSpawnIsJudgedSeparately: the outer goroutine is bounded by the
+// WaitGroup; the inner leak is reported at the inner spawn site only.
+func nestedSpawnIsJudgedSeparately(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		go func() { // want `goroutine runs unbounded`
+			for {
+			}
+		}()
+	}()
+}
+
+// waivedLeak documents an intentional leak with a reasoned directive,
+// which must suppress the finding.
+func waivedLeak() {
+	//lint:allow goroleak fixture: intentional leak kept to prove suppression works
+	go func() {
+		for {
+		}
+	}()
+}

@@ -1,0 +1,28 @@
+package gorofix
+
+import "net/http"
+
+// serveWithoutServer: the package-level ListenAndServe blocks forever
+// and there is no server object anyone could Close.
+func serveWithoutServer() {
+	go func() { // want `goroutine runs unbounded`
+		http.ListenAndServe("localhost:0", nil)
+	}()
+}
+
+// serveWithClose: the spawner holds the server and closes it.
+func serveWithClose() {
+	srv := &http.Server{Addr: "localhost:0"}
+	go func() {
+		srv.ListenAndServe()
+	}()
+	srv.Close()
+}
+
+// serveNamedEntry: a method-value spawn of a blocking serve call,
+// shut down by the spawner.
+func serveNamedEntry() {
+	srv := &http.Server{}
+	go srv.ListenAndServe()
+	defer srv.Shutdown(nil)
+}

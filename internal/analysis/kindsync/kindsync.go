@@ -1,0 +1,357 @@
+// Package kindsync keeps enum surfaces exhaustive: for every enum
+// type marked
+//
+//	//driftlint:enum sentinel=Const [names=Var] surfaces=Func[,Recv.Method...]
+//
+// each enum member (every package-level constant of the type, minus
+// the sentinel) must be covered by every listed surface. A surface
+// covers a member when its whole-program call graph references the
+// member's constant directly, the names table, or the sentinel — the
+// last two being how exhaustive surfaces are actually written (index
+// into the table, or a full-range `for k := Kind(0); k < kindCount`
+// loop). Adding an enum member without extending a switch-style
+// surface then fails lint instead of silently dropping the new kind
+// from a snapshot or an exporter.
+//
+// When names= is given, the table's composite literal is also checked
+// against the sentinel's value: an under-filled positional array
+// compiles fine (the array length is the sentinel) but stringifies
+// new members as empty strings, which is exactly the drift this
+// analyzer exists to catch.
+package kindsync
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"videodrift/internal/analysis/driftlint"
+)
+
+// Analyzer is the enum-surface exhaustiveness checker.
+var Analyzer = &driftlint.Analyzer{
+	Name: "kindsync",
+	Doc:  "require every member of a marked enum to be covered by each declared surface, directly or via the names table or sentinel",
+	Run:  run,
+}
+
+// spec is one parsed //driftlint:enum directive.
+type spec struct {
+	name     string
+	pos      token.Pos
+	named    *types.Named
+	sentinel string
+	names    string
+	surfaces []string
+}
+
+func run(pass *driftlint.Pass) error {
+	specs := collectSpecs(pass)
+	if len(specs) == 0 {
+		return nil
+	}
+	decls := collectFuncs(pass)
+	for _, sp := range specs {
+		scope := pass.Pkg.Scope()
+		sentObj, ok := scope.Lookup(sp.sentinel).(*types.Const)
+		if !ok || driftlint.NamedOf(sentObj.Type()) != sp.named {
+			pass.Reportf(sp.pos,
+				"//driftlint:enum on %s: sentinel %q is not a package-level constant of type %s",
+				sp.name, sp.sentinel, sp.name)
+			continue
+		}
+		var namesObj *types.Var
+		if sp.names != "" {
+			namesObj, ok = scope.Lookup(sp.names).(*types.Var)
+			if !ok {
+				pass.Reportf(sp.pos,
+					"//driftlint:enum on %s: names %q is not a package-level variable",
+					sp.name, sp.names)
+				continue
+			}
+			checkNamesTable(pass, sp, namesObj, sentObj)
+		}
+		members := collectMembers(pass, sp, sentObj)
+		for _, surface := range sp.surfaces {
+			fds := decls[surface]
+			if len(fds) == 0 {
+				pass.Reportf(sp.pos,
+					"//driftlint:enum on %s names unknown surface function %q", sp.name, surface)
+				continue
+			}
+			var entries []*types.Func
+			for _, fd := range fds {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					entries = append(entries, fn)
+				}
+			}
+			if exhaustiveByConstruction(pass, sp, entries, sentObj, namesObj) {
+				continue
+			}
+			covered := memberRefs(pass, entries)
+			for _, m := range members {
+				if !covered[m] {
+					pass.Reportf(m.Pos(),
+						"enum member %s of %s is not referenced by surface %s (not directly, not via the names table, and not via the %s sentinel); the surface silently misses it",
+						m.Name(), sp.name, surface, sp.sentinel)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// collectMembers returns the package-level constants of the enum type,
+// excluding the sentinel, sorted by declaration position.
+func collectMembers(pass *driftlint.Pass, sp *spec, sentinel *types.Const) []*types.Const {
+	var members []*types.Const
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || c == sentinel {
+			continue
+		}
+		if driftlint.NamedOf(c.Type()) == sp.named {
+			members = append(members, c)
+		}
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i].Pos() < members[j].Pos() })
+	return members
+}
+
+// memberRefs collects every object used anywhere in the surfaces'
+// whole-program call graphs — the direct-reference route to coverage.
+func memberRefs(pass *driftlint.Pass, entries []*types.Func) map[types.Object]bool {
+	covered := map[types.Object]bool{}
+	for _, fi := range pass.Prog.Reachable(entries, 0) {
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := fi.Pkg.Info.Uses[id]; obj != nil {
+					covered[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	return covered
+}
+
+// exhaustiveByConstruction reports whether the surface's call graph
+// references the names table or the sentinel — the two ways a surface
+// handles every member without naming any.
+//
+// The walk depends on the surface's shape. A per-value surface — one
+// that takes the enum as a receiver or parameter, like String or
+// MarshalJSON — handles whichever member it is given, so delegating to
+// another per-value function is itself exhaustive and the whole call
+// graph counts. An enumerating surface — no enum input, like an
+// exporter — must produce the members itself, so its walk prunes at
+// per-value callees: calling kind.String() on two hand-picked members
+// must not vouch for the rest.
+func exhaustiveByConstruction(pass *driftlint.Pass, sp *spec, entries []*types.Func, sentObj, namesObj types.Object) bool {
+	perValue := false
+	for _, fn := range entries {
+		if takesEnum(fn, sp.named) {
+			perValue = true
+		}
+	}
+	seen := map[*types.Func]bool{}
+	queue := append([]*types.Func(nil), entries...)
+	for len(queue) > 0 && len(seen) < driftlint.DefaultReachLimit {
+		fn := queue[0]
+		queue = queue[1:]
+		if seen[fn] {
+			continue
+		}
+		seen[fn] = true
+		fi := pass.Prog.FuncInfo(fn)
+		if fi == nil {
+			continue
+		}
+		found := false
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok {
+				obj := fi.Pkg.Info.Uses[id]
+				if obj == sentObj || (namesObj != nil && obj == namesObj) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+		for _, callee := range fi.Calls {
+			if !perValue && takesEnum(callee, sp.named) {
+				continue
+			}
+			queue = append(queue, callee)
+		}
+	}
+	return false
+}
+
+// takesEnum reports whether the function receives the enum type as its
+// receiver or any parameter — the per-value shape.
+func takesEnum(fn *types.Func, named *types.Named) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if recv := sig.Recv(); recv != nil &&
+		driftlint.NamedOf(driftlint.Deref(recv.Type())) == named {
+		return true
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if driftlint.NamedOf(driftlint.Deref(sig.Params().At(i).Type())) == named {
+			return true
+		}
+	}
+	return false
+}
+
+// checkNamesTable verifies the names table's positional literal holds
+// exactly sentinel-value entries.
+func checkNamesTable(pass *driftlint.Pass, sp *spec, namesObj *types.Var, sentinel *types.Const) {
+	want, ok := constant.Int64Val(sentinel.Val())
+	if !ok {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gen, ok := decl.(*ast.GenDecl)
+			if !ok || gen.Tok != token.VAR {
+				continue
+			}
+			for _, s := range gen.Specs {
+				vs, ok := s.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if pass.TypesInfo.Defs[name] != namesObj || i >= len(vs.Values) {
+						continue
+					}
+					lit, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					got := 0
+					for _, elt := range lit.Elts {
+						if _, keyed := elt.(*ast.KeyValueExpr); keyed {
+							return // sparse keyed table; cardinality is not positional
+						}
+						got++
+					}
+					if int64(got) != want {
+						pass.Reportf(name.Pos(),
+							"names table %s holds %d entries but sentinel %s is %d; members added since the table was last extended would stringify as empty strings",
+							sp.names, got, sp.sentinel, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// collectSpecs finds marked enum types and parses their directives.
+func collectSpecs(pass *driftlint.Pass) []*spec {
+	var specs []*spec
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gen, ok := decl.(*ast.GenDecl)
+			if !ok || gen.Tok != token.TYPE {
+				continue
+			}
+			for _, s := range gen.Specs {
+				ts, ok := s.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil && len(gen.Specs) == 1 {
+					doc = gen.Doc
+				}
+				line, ok := directiveLine(doc)
+				if !ok {
+					continue
+				}
+				sp := parseSpec(pass, ts, line)
+				if sp != nil {
+					specs = append(specs, sp)
+				}
+			}
+		}
+	}
+	return specs
+}
+
+func directiveLine(doc *ast.CommentGroup) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if rest, ok := strings.CutPrefix(text, "//driftlint:enum"); ok {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+func parseSpec(pass *driftlint.Pass, ts *ast.TypeSpec, line string) *spec {
+	sp := &spec{name: ts.Name.Name, pos: ts.Pos()}
+	for _, field := range strings.Fields(line) {
+		switch {
+		case strings.HasPrefix(field, "sentinel="):
+			sp.sentinel = strings.TrimPrefix(field, "sentinel=")
+		case strings.HasPrefix(field, "names="):
+			sp.names = strings.TrimPrefix(field, "names=")
+		case strings.HasPrefix(field, "surfaces="):
+			sp.surfaces = strings.Split(strings.TrimPrefix(field, "surfaces="), ",")
+		default:
+			pass.Reportf(ts.Pos(), "malformed //driftlint:enum directive: unknown token %q", field)
+			return nil
+		}
+	}
+	if sp.sentinel == "" || len(sp.surfaces) == 0 {
+		pass.Reportf(ts.Pos(), "//driftlint:enum on %s needs sentinel= and a surfaces= function list", sp.name)
+		return nil
+	}
+	obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	sp.named = named
+	return sp
+}
+
+// collectFuncs indexes the package's function declarations by bare name
+// and by "Receiver.Name".
+func collectFuncs(pass *driftlint.Pass) map[string][]*ast.FuncDecl {
+	decls := map[string][]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			decls[fd.Name.Name] = append(decls[fd.Name.Name], fd)
+			if recv := driftlint.RecvBaseName(fd); recv != "" {
+				decls[recv+"."+fd.Name.Name] = append(decls[recv+"."+fd.Name.Name], fd)
+			}
+		}
+	}
+	return decls
+}

@@ -1,0 +1,12 @@
+package kindsync_test
+
+import (
+	"testing"
+
+	"videodrift/internal/analysis/analysistest"
+	"videodrift/internal/analysis/kindsync"
+)
+
+func TestKindsync(t *testing.T) {
+	analysistest.Run(t, kindsync.Analyzer, "kindfix")
+}

@@ -1,0 +1,111 @@
+// Package kindfix exercises kindsync: enum members must be covered by
+// every declared surface — directly, via the names table, or via a
+// full-range sentinel loop — and the names table must hold exactly
+// sentinel-value entries.
+package kindfix
+
+// Color's surfaces show the three coverage routes: String indexes the
+// names table, describeAll loops to the sentinel, dump reaches the
+// table transitively through a helper — and exportAll enumerates
+// members by hand, so it misses Blue.
+//
+//driftlint:enum sentinel=colorCount names=colorNames surfaces=Color.String,describeAll,dump,exportAll
+type Color uint8
+
+const (
+	Red Color = iota
+	Green
+	Blue // want `enum member Blue of Color is not referenced by surface exportAll`
+	colorCount
+)
+
+var colorNames = [colorCount]string{"red", "green", "blue"}
+
+func (c Color) String() string { return colorNames[c] }
+
+func describeAll() []string {
+	out := make([]string, 0, int(colorCount))
+	for c := Color(0); c < colorCount; c++ {
+		out = append(out, c.String())
+	}
+	return out
+}
+
+// dump is exhaustive only transitively: allNames owns the table ref.
+func dump() string {
+	s := ""
+	for _, n := range allNames() {
+		s += n
+	}
+	return s
+}
+
+func allNames() []string { return colorNames[:] }
+
+func exportAll() map[string]int {
+	return map[string]int{
+		Red.String():   0,
+		Green.String(): 1,
+	}
+}
+
+// Shape's names table fell behind the enum: the array length is the
+// sentinel so it still compiles, but Triangle stringifies as "".
+//
+//driftlint:enum sentinel=shapeCount names=shapeNames surfaces=Shape.String
+type Shape uint8
+
+const (
+	Circle Shape = iota
+	Square
+	Triangle
+	shapeCount
+)
+
+var shapeNames = [shapeCount]string{ // want `names table shapeNames holds 2 entries but sentinel shapeCount is 3`
+	"circle",
+	"square",
+}
+
+func (s Shape) String() string { return shapeNames[s] }
+
+// Ghost's directive names a surface that does not exist.
+//
+//driftlint:enum sentinel=ghostCount surfaces=ghostSurface
+type Ghost uint8 // want `//driftlint:enum on Ghost names unknown surface function "ghostSurface"`
+
+const (
+	GhostA Ghost = iota
+	ghostCount
+)
+
+// Bad's directive carries a token the parser does not know.
+//
+//driftlint:enum sentinel=badCount bogus=1
+type Bad uint8 // want `malformed //driftlint:enum directive: unknown token "bogus=1"`
+
+// Half's directive is missing its surface list.
+//
+//driftlint:enum sentinel=halfCount
+type Half uint8 // want `//driftlint:enum on Half needs sentinel= and a surfaces= function list`
+
+// Mode's uncovered member is deliberately waived.
+//
+//driftlint:enum sentinel=modeCount names=modeNames surfaces=modeLabel
+type Mode uint8
+
+const (
+	ModeA Mode = iota
+	//lint:allow kindsync fixture: member deliberately uncovered to prove suppression works
+	ModeB
+	modeCount
+)
+
+var modeNames = [modeCount]string{"a", "b"}
+
+func modeLabel(m Mode) string {
+	if m == ModeA {
+		return "a"
+	}
+	return "?"
+}

@@ -1,0 +1,65 @@
+package leakcheck_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"videodrift/internal/analysis/leakcheck"
+)
+
+// TestMain gates this package on its own harness — the deliberate
+// leaks below all release their goroutines before returning.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}
+
+// TestCheckCatchesDeliberateLeak parks a goroutine on a channel nobody
+// closes (yet) and demands Check call it out by name.
+func TestCheckCatchesDeliberateLeak(t *testing.T) {
+	stop := make(chan struct{})
+	go leakDeliberately(stop)
+
+	err := leakcheck.Check(leakcheck.MaxWait(50 * time.Millisecond))
+	if err == nil {
+		t.Fatal("Check missed a goroutine parked on an unclosed channel")
+	}
+	if !strings.Contains(err.Error(), "leakDeliberately") {
+		t.Fatalf("leak report does not name the leaking function:\n%v", err)
+	}
+
+	close(stop)
+	if err := leakcheck.Check(); err != nil {
+		t.Fatalf("Check still reports a leak after the goroutine was released:\n%v", err)
+	}
+}
+
+func leakDeliberately(stop <-chan struct{}) { <-stop }
+
+// TestCheckWaitsForWindDown proves the backoff loop: a goroutine that
+// exits shortly after Check starts must not be reported.
+func TestCheckWaitsForWindDown(t *testing.T) {
+	go windDown()
+	if err := leakcheck.Check(); err != nil {
+		t.Fatalf("Check reported a goroutine that was already winding down:\n%v", err)
+	}
+}
+
+func windDown() { time.Sleep(20 * time.Millisecond) }
+
+// TestAllowWaivesNamedGoroutine proves the allowlist: the same
+// deliberate leak passes when its function is waived, and the report
+// stays empty even at a generous wait.
+func TestAllowWaivesNamedGoroutine(t *testing.T) {
+	stop := make(chan struct{})
+	defer close(stop)
+	go leakDeliberately(stop)
+
+	err := leakcheck.Check(
+		leakcheck.Allow("leakDeliberately"),
+		leakcheck.MaxWait(50*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatalf("Check reported an allowlisted goroutine:\n%v", err)
+	}
+}

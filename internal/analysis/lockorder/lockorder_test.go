@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"videodrift/internal/analysis/analysistest"
+	"videodrift/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, "lockfix")
+}

@@ -1,15 +1,20 @@
-// Package analysis assembles the driftlint analyzer suite — the five
+// Package analysis assembles the driftlint analyzer suite — the
 // mechanically-enforced invariants behind the repo's determinism,
-// checkpoint-completeness and telemetry guarantees (DESIGN.md §10).
+// checkpoint-completeness, telemetry, concurrency and wire-codec
+// guarantees (DESIGN.md §10, §15).
 package analysis
 
 import (
 	"videodrift/internal/analysis/determinism"
 	"videodrift/internal/analysis/driftlint"
 	"videodrift/internal/analysis/floatcmp"
+	"videodrift/internal/analysis/goroleak"
+	"videodrift/internal/analysis/kindsync"
+	"videodrift/internal/analysis/lockorder"
 	"videodrift/internal/analysis/lockreg"
 	"videodrift/internal/analysis/snapshotsync"
 	"videodrift/internal/analysis/tracenil"
+	"videodrift/internal/analysis/wiresync"
 )
 
 // Suite returns every analyzer, in diagnostic-name order.
@@ -17,8 +22,12 @@ func Suite() []*driftlint.Analyzer {
 	return []*driftlint.Analyzer{
 		determinism.Analyzer,
 		floatcmp.Analyzer,
+		goroleak.Analyzer,
+		kindsync.Analyzer,
+		lockorder.Analyzer,
 		lockreg.Analyzer,
 		snapshotsync.Analyzer,
 		tracenil.Analyzer,
+		wiresync.Analyzer,
 	}
 }

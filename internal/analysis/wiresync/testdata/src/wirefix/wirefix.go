@@ -1,0 +1,170 @@
+// Package wirefix exercises wiresync: field parity between wire
+// encoders and decoders, checksum reachability, and the stream
+// reader's version/CRC coverage.
+package wirefix
+
+import (
+	"errors"
+	"hash/crc32"
+)
+
+// Version is the toy protocol's version byte.
+const Version = 7
+
+var errBad = errors.New("wirefix: bad frame")
+
+// header prepends the version byte and a payload CRC — the shared
+// integrity envelope the encoders reach transitively.
+func header(payload []byte) []byte {
+	out := []byte{Version}
+	return appendU32(out, crc32.ChecksumIEEE(payload))
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return appendU32(appendU32(b, uint32(v>>32)), uint32(v))
+}
+
+func readU32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+func readU64(b []byte) uint64 {
+	return uint64(readU32(b))<<32 | uint64(readU32(b[4:]))
+}
+
+// ReadFrame is the framing reader: version check, then CRC check.
+func ReadFrame(b []byte) ([]byte, error) {
+	if len(b) < 5 {
+		return nil, errBad
+	}
+	if b[0] != Version {
+		return nil, errBad
+	}
+	if crc32.ChecksumIEEE(b[5:]) != readU32(b[1:5]) {
+		return nil, errBad
+	}
+	return b[5:], nil
+}
+
+// Ping is fully covered: every field crosses the wire both ways.
+//
+//driftlint:wire encode=EncodePing decode=DecodePing stream=ReadFrame
+type Ping struct {
+	Seq  uint64
+	Note string // want `field Note of wire message Ping is not referenced by its decode path`
+}
+
+func EncodePing(p Ping) []byte {
+	payload := appendU64(nil, p.Seq)
+	payload = append(payload, p.Note...)
+	return append(header(payload), payload...)
+}
+
+// DecodePing deliberately drops Note: the parity check must catch the
+// decoder falling behind the struct.
+func DecodePing(payload []byte) (Ping, error) {
+	if len(payload) < 8 {
+		return Ping{}, errBad
+	}
+	return Ping{Seq: readU64(payload)}, nil
+}
+
+// Pong round-trips completely: no findings.
+//
+//driftlint:wire encode=EncodePong decode=DecodePong stream=ReadFrame
+type Pong struct {
+	Seq uint64
+	OK  bool
+}
+
+func EncodePong(p Pong) []byte {
+	payload := appendU64(nil, p.Seq)
+	if p.OK {
+		payload = append(payload, 1)
+	} else {
+		payload = append(payload, 0)
+	}
+	return append(header(payload), payload...)
+}
+
+func DecodePong(payload []byte) (Pong, error) {
+	if len(payload) != 9 {
+		return Pong{}, errBad
+	}
+	return Pong{Seq: readU64(payload), OK: payload[8] != 0}, nil
+}
+
+// Raw's encoder skips the integrity envelope entirely.
+//
+//driftlint:wire encode=EncodeRaw decode=DecodeRaw stream=ReadFrame
+type Raw struct {
+	N uint64
+}
+
+// EncodeRaw ships naked bytes: no CRC anywhere in its call graph.
+func EncodeRaw(r Raw) []byte { // want `wire encoder EncodeRaw never computes a payload checksum`
+	return appendU64(nil, r.N)
+}
+
+func DecodeRaw(payload []byte) (Raw, error) {
+	if len(payload) != 8 {
+		return Raw{}, errBad
+	}
+	return Raw{N: readU64(payload)}, nil
+}
+
+// Loose rides a framing reader that verifies nothing.
+//
+//driftlint:wire encode=EncodeLoose decode=DecodeLoose stream=ReadLoose
+type Loose struct {
+	N uint64
+}
+
+// ReadLoose neither version-checks nor CRC-checks the frame.
+func ReadLoose(b []byte) ([]byte, error) { // want `wire stream reader ReadLoose never verifies a payload checksum` `wire stream reader ReadLoose never checks the package's Version constant`
+	return b, nil
+}
+
+func EncodeLoose(l Loose) []byte {
+	payload := appendU64(nil, l.N)
+	return append(header(payload), payload...)
+}
+
+func DecodeLoose(payload []byte) (Loose, error) {
+	if len(payload) != 8 {
+		return Loose{}, errBad
+	}
+	return Loose{N: readU64(payload)}, nil
+}
+
+// Ghost's directive names a function that does not exist.
+//
+//driftlint:wire encode=EncodeGhost decode=DecodePing stream=ReadFrame
+type Ghost struct { // want `//driftlint:wire on Ghost names unknown encode function "EncodeGhost"`
+	X int
+}
+
+// Half's uncovered field is deliberately waived.
+//
+//driftlint:wire encode=EncodeHalf decode=DecodeHalf stream=ReadFrame
+type Half struct {
+	A uint64
+	//lint:allow wiresync fixture: field deliberately uncovered to prove suppression works
+	B uint64
+}
+
+func EncodeHalf(h Half) []byte {
+	payload := appendU64(appendU64(nil, h.A), h.B)
+	return append(header(payload), payload...)
+}
+
+func DecodeHalf(payload []byte) (Half, error) {
+	if len(payload) < 8 {
+		return Half{}, errBad
+	}
+	return Half{A: readU64(payload)}, nil
+}

@@ -1,0 +1,328 @@
+// Package wiresync cross-checks the wire protocol's codec coverage:
+// for every message struct marked
+//
+//	//driftlint:wire encode=Func[,Recv.Method...] decode=Func[,...] stream=Func[,...]
+//
+// each field must be referenced (selected, or set in a keyed composite
+// literal) in at least one encode function AND one decode function —
+// adding a field to a protocol message without extending both sides
+// then fails lint instead of silently shipping zero values to peers.
+//
+// On top of field parity, the integrity envelope is checked through
+// the whole-program call graph:
+//
+//   - every encode function must reach a checksum computation (a call
+//     into hash/crc32 anywhere in its call graph — typically via a
+//     shared header helper), so no message type can ship without
+//     corruption detection;
+//   - every stream= function (the framing reader that consumes the
+//     header before payload decoding) must both verify a checksum and
+//     reference the package's Version constant, so version skew and
+//     payload damage surface as typed errors, not garbage frames.
+//
+// The call-graph requirement is what makes the check survive
+// refactors: the CRC lives in appendHeader, not in each encoder, and
+// that is fine — what must never happen is an encoder that reaches no
+// checksum at all.
+package wiresync
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"videodrift/internal/analysis/driftlint"
+)
+
+// Analyzer is the wire-codec parity and integrity checker.
+var Analyzer = &driftlint.Analyzer{
+	Name: "wiresync",
+	Doc:  "require every field of a marked wire message to be covered by encode and decode, and the framing path to checksum and version-check",
+	Run:  run,
+}
+
+// spec is one parsed //driftlint:wire directive.
+type spec struct {
+	name   string
+	pos    token.Pos
+	named  *types.Named
+	fields *types.Struct
+	encode []string
+	decode []string
+	stream []string
+}
+
+func run(pass *driftlint.Pass) error {
+	specs := collectSpecs(pass)
+	if len(specs) == 0 {
+		return nil
+	}
+	decls := collectFuncs(pass)
+	checkedStream := map[string]bool{}
+	for _, sp := range specs {
+		enc := referencedFields(pass, sp, sp.encode, decls, "encode")
+		dec := referencedFields(pass, sp, sp.decode, decls, "decode")
+		if enc == nil || dec == nil {
+			continue // directive itself was bad; already reported
+		}
+		for i := 0; i < sp.fields.NumFields(); i++ {
+			f := sp.fields.Field(i)
+			if f.Name() == "_" {
+				continue
+			}
+			if !enc[f.Name()] {
+				pass.Reportf(f.Pos(),
+					"field %s of wire message %s is not referenced by its encode path (%s); peers would receive zero values for it",
+					f.Name(), sp.name, strings.Join(sp.encode, ", "))
+			}
+			if !dec[f.Name()] {
+				pass.Reportf(f.Pos(),
+					"field %s of wire message %s is not referenced by its decode path (%s); its wire bytes would be dropped on receive",
+					f.Name(), sp.name, strings.Join(sp.decode, ", "))
+			}
+		}
+		for _, name := range sp.encode {
+			for _, fd := range decls[name] {
+				if fd.Body == nil {
+					continue
+				}
+				if !reaches(pass, fd, isCRCCall) {
+					pass.Reportf(fd.Pos(),
+						"wire encoder %s never computes a payload checksum (no call into hash/crc32 anywhere in its call graph); receivers cannot detect corruption",
+						name)
+				}
+			}
+		}
+		for _, name := range sp.stream {
+			if checkedStream[name] {
+				continue // several messages share one framing reader
+			}
+			checkedStream[name] = true
+			fds := decls[name]
+			if len(fds) == 0 {
+				pass.Reportf(sp.pos,
+					"//driftlint:wire on %s names unknown stream function %q", sp.name, name)
+				continue
+			}
+			for _, fd := range fds {
+				if fd.Body == nil {
+					continue
+				}
+				if !reaches(pass, fd, isCRCCall) {
+					pass.Reportf(fd.Pos(),
+						"wire stream reader %s never verifies a payload checksum (no call into hash/crc32 anywhere in its call graph); corrupted payloads would decode as frames",
+						name)
+				}
+				if !reaches(pass, fd, versionConstRef(pass.Pkg)) {
+					pass.Reportf(fd.Pos(),
+						"wire stream reader %s never checks the package's Version constant; version skew would decode garbage instead of failing typed",
+						name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// reaches reports whether the declaration's whole-program call graph
+// contains a node matched by pred.
+func reaches(pass *driftlint.Pass, fd *ast.FuncDecl, pred func(info *types.Info, n ast.Node) bool) bool {
+	fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	for _, fi := range pass.Prog.Reachable([]*types.Func{fn}, 0) {
+		found := false
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if pred(fi.Pkg.Info, n) {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// isCRCCall matches any call into hash/crc32.
+func isCRCCall(info *types.Info, n ast.Node) bool {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := driftlint.CalleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "hash/crc32"
+}
+
+// versionConstRef matches a use of the package-level constant named
+// Version in the message's own package.
+func versionConstRef(pkg *types.Package) func(info *types.Info, n ast.Node) bool {
+	return func(info *types.Info, n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		c, ok := info.Uses[id].(*types.Const)
+		return ok && c.Name() == "Version" && c.Pkg() == pkg &&
+			c.Parent() == pkg.Scope()
+	}
+}
+
+// collectSpecs finds marked struct types and parses their directives.
+func collectSpecs(pass *driftlint.Pass) []*spec {
+	var specs []*spec
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gen, ok := decl.(*ast.GenDecl)
+			if !ok || gen.Tok != token.TYPE {
+				continue
+			}
+			for _, s := range gen.Specs {
+				ts, ok := s.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil && len(gen.Specs) == 1 {
+					doc = gen.Doc
+				}
+				line, ok := directiveLine(doc)
+				if !ok {
+					continue
+				}
+				sp := parseSpec(pass, ts, line)
+				if sp != nil {
+					specs = append(specs, sp)
+				}
+			}
+		}
+	}
+	return specs
+}
+
+func directiveLine(doc *ast.CommentGroup) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if rest, ok := strings.CutPrefix(text, "//driftlint:wire"); ok {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+func parseSpec(pass *driftlint.Pass, ts *ast.TypeSpec, line string) *spec {
+	sp := &spec{name: ts.Name.Name, pos: ts.Pos()}
+	for _, field := range strings.Fields(line) {
+		switch {
+		case strings.HasPrefix(field, "encode="):
+			sp.encode = strings.Split(strings.TrimPrefix(field, "encode="), ",")
+		case strings.HasPrefix(field, "decode="):
+			sp.decode = strings.Split(strings.TrimPrefix(field, "decode="), ",")
+		case strings.HasPrefix(field, "stream="):
+			sp.stream = strings.Split(strings.TrimPrefix(field, "stream="), ",")
+		default:
+			pass.Reportf(ts.Pos(), "malformed //driftlint:wire directive: unknown token %q", field)
+			return nil
+		}
+	}
+	if len(sp.encode) == 0 || len(sp.decode) == 0 || len(sp.stream) == 0 {
+		pass.Reportf(ts.Pos(), "//driftlint:wire on %s needs encode=, decode= and stream= function lists", sp.name)
+		return nil
+	}
+	obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		pass.Reportf(ts.Pos(), "//driftlint:wire on %s, which is not a struct type", sp.name)
+		return nil
+	}
+	sp.named = named
+	sp.fields = st
+	return sp
+}
+
+// collectFuncs indexes the package's function declarations by bare name
+// and by "Receiver.Name".
+func collectFuncs(pass *driftlint.Pass) map[string][]*ast.FuncDecl {
+	decls := map[string][]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			decls[fd.Name.Name] = append(decls[fd.Name.Name], fd)
+			if recv := driftlint.RecvBaseName(fd); recv != "" {
+				decls[recv+"."+fd.Name.Name] = append(decls[recv+"."+fd.Name.Name], fd)
+			}
+		}
+	}
+	return decls
+}
+
+// referencedFields walks the named functions and returns the set of
+// sp's field names they reference. A nil return means the directive
+// named a function that does not exist (reported here).
+func referencedFields(pass *driftlint.Pass, sp *spec, names []string, decls map[string][]*ast.FuncDecl, role string) map[string]bool {
+	refs := map[string]bool{}
+	for _, name := range names {
+		fds := decls[name]
+		if len(fds) == 0 {
+			pass.Reportf(sp.pos,
+				"//driftlint:wire on %s names unknown %s function %q", sp.name, role, name)
+			return nil
+		}
+		for _, fd := range fds {
+			if fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					sel := pass.TypesInfo.Selections[n]
+					if sel != nil && sel.Kind() == types.FieldVal &&
+						driftlint.NamedOf(sel.Recv()) == sp.named {
+						refs[sel.Obj().Name()] = true
+					}
+				case *ast.CompositeLit:
+					if driftlint.NamedOf(pass.TypesInfo.TypeOf(n)) != sp.named {
+						return true
+					}
+					keyed := false
+					for _, elt := range n.Elts {
+						if kv, ok := elt.(*ast.KeyValueExpr); ok {
+							keyed = true
+							if id, ok := kv.Key.(*ast.Ident); ok {
+								refs[id.Name] = true
+							}
+						}
+					}
+					if !keyed && len(n.Elts) > 0 {
+						// Positional literal initializes every field.
+						for i := 0; i < sp.fields.NumFields(); i++ {
+							refs[sp.fields.Field(i).Name()] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return refs
+}

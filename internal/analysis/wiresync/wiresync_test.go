@@ -1,0 +1,12 @@
+package wiresync_test
+
+import (
+	"testing"
+
+	"videodrift/internal/analysis/analysistest"
+	"videodrift/internal/analysis/wiresync"
+)
+
+func TestWiresync(t *testing.T) {
+	analysistest.Run(t, wiresync.Analyzer, "wirefix")
+}

@@ -1,0 +1,17 @@
+package core
+
+import (
+	"testing"
+
+	"videodrift/internal/analysis/leakcheck"
+)
+
+// TestMain gates the sharded-monitor tests on the leakcheck harness
+// (DESIGN.md §15): shard workers, supervisors and selection goroutines
+// must all be stopped when their tests finish. The shared parallel
+// pools' parked workers are process-lifetime by design and are waived
+// by name.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m,
+		leakcheck.Allow("videodrift/internal/parallel.(*Pool).spawn.func1"))
+}

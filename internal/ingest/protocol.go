@@ -28,7 +28,9 @@
 // ErrMalformed, *VersionError) — never a panic, never an allocation
 // sized by attacker-controlled bytes beyond the cap.
 //
-//driftlint:deterministic
+// The package is listed in determinism.CriticalPackages, so the whole
+// of it (not just this file) is held to the deterministic-behavior
+// invariants.
 package ingest
 
 import (
@@ -101,6 +103,8 @@ func (e *VersionError) Error() string {
 // (tenant, sequence number). Seq is per-tenant, starts at 0 and
 // increases by 1 per frame; the router uses it to detect duplicates
 // (resends after a lost ack) and gaps.
+//
+//driftlint:wire encode=EncodeFrame decode=DecodeFrameMsg stream=ReadMsg
 type FrameMsg struct {
 	Tenant    string
 	Seq       uint64
@@ -112,6 +116,8 @@ type FrameMsg struct {
 // Ack is a decoded acknowledgment: frame Seq is accepted. Dup reports
 // an idempotent accept — the frame had already been processed (a
 // resend after a lost ack), so the sender should advance, not retry.
+//
+//driftlint:wire encode=EncodeAck decode=DecodeAck stream=ReadMsg
 type Ack struct {
 	Seq uint64
 	Dup bool
@@ -138,6 +144,8 @@ const (
 // Nack is a decoded rejection for frame Seq. RetryAfterMillis is the
 // server's backoff hint (0 means not retryable); Reason is a short
 // human-readable diagnostic.
+//
+//driftlint:wire encode=EncodeNack decode=DecodeNack stream=ReadMsg
 type Nack struct {
 	Seq              uint64
 	Code             uint8

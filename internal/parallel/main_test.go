@@ -1,0 +1,16 @@
+package parallel
+
+import (
+	"testing"
+
+	"videodrift/internal/analysis/leakcheck"
+)
+
+// TestMain gates the package on the leakcheck harness (DESIGN.md §15):
+// any pool or job goroutine still alive after the tests fails the run.
+// The shared pools' parked workers are process-lifetime by design
+// (see sharedPools) and are waived by name.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m,
+		leakcheck.Allow("videodrift/internal/parallel.(*Pool).spawn.func1"))
+}

@@ -61,6 +61,12 @@ type Snapshot struct {
 	WindowDelta float64 `json:"window_delta"`
 	MeanP       float64 `json:"mean_p"`
 
+	// EventCounts holds every kind's cumulative counter in enum order,
+	// indexed by Kind — including kinds with no dedicated named field
+	// above (the named fields stay for compatibility with existing
+	// consumers of the JSON shape).
+	EventCounts []KindCount `json:"event_counts,omitempty"`
+
 	Stages []StageSnapshot `json:"stages,omitempty"`
 	Events []Event         `json:"events,omitempty"`
 }
@@ -94,6 +100,10 @@ func (t *Tracer) Snapshot() Snapshot {
 		Martingale:             t.martingale,
 		WindowDelta:            t.windowDelta,
 		MeanP:                  t.meanP,
+	}
+	s.EventCounts = make([]KindCount, kindCount)
+	for k := Kind(0); k < kindCount; k++ {
+		s.EventCounts[k] = KindCount{Kind: k.String(), Count: t.counts[k]}
 	}
 	s.FramesByState = make(map[string]uint64, stateCount)
 	for st := State(0); st < stateCount; st++ {
@@ -153,6 +163,10 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	p("# TYPE videodrift_drifts_total counter\n")
 	p("videodrift_drifts_total %d\n", s.Drifts)
 
+	p("# HELP videodrift_selections_started_total Selection windows opened after a drift declaration.\n")
+	p("# TYPE videodrift_selections_started_total counter\n")
+	p("videodrift_selections_started_total %d\n", s.SelectionsStarted)
+
 	p("# HELP videodrift_selections_total Model-selection runs resolved after a drift.\n")
 	p("# TYPE videodrift_selections_total counter\n")
 	p("videodrift_selections_total %d\n", s.Selections)
@@ -184,6 +198,17 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	p("# HELP videodrift_checkpoint_failures_total Failed checkpoint write attempts.\n")
 	p("# TYPE videodrift_checkpoint_failures_total counter\n")
 	p("videodrift_checkpoint_failures_total %d\n", s.CheckpointFailures)
+
+	p("# HELP videodrift_events_total Structured events recorded, by kind.\n")
+	p("# TYPE videodrift_events_total counter\n")
+	for k := Kind(0); k < kindCount; k++ {
+		// Snapshots decoded from JSON written before EventCounts existed
+		// carry a short (or nil) slice; emit what is known.
+		if int(k) >= len(s.EventCounts) {
+			break
+		}
+		p("videodrift_events_total{kind=%q} %d\n", s.EventCounts[k].Kind, s.EventCounts[k].Count)
+	}
 
 	p("# HELP videodrift_degraded Degradation state (0 ok, 1 degraded, 2 failed).\n")
 	p("# TYPE videodrift_degraded gauge\n")

@@ -19,7 +19,12 @@ import (
 	"time"
 )
 
-// Kind enumerates the structured event taxonomy.
+// Kind enumerates the structured event taxonomy. The driftlint
+// directive keeps every surface that fans out over kinds exhaustive:
+// add a member and lint fails until the snapshot and the Prometheus
+// exporter carry it too.
+//
+//driftlint:enum sentinel=kindCount names=kindNames surfaces=Kind.String,Kind.MarshalJSON,Kind.UnmarshalJSON,Tracer.KindCounts,Tracer.Snapshot,Snapshot.WritePrometheus
 type Kind uint8
 
 // Event kinds, in pipeline order.

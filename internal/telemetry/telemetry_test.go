@@ -244,6 +244,9 @@ videodrift_martingale_updates_total 1
 # HELP videodrift_drifts_total Drifts declared by the Drift Inspector.
 # TYPE videodrift_drifts_total counter
 videodrift_drifts_total 1
+# HELP videodrift_selections_started_total Selection windows opened after a drift declaration.
+# TYPE videodrift_selections_started_total counter
+videodrift_selections_started_total 0
 # HELP videodrift_selections_total Model-selection runs resolved after a drift.
 # TYPE videodrift_selections_total counter
 videodrift_selections_total 0
@@ -268,6 +271,21 @@ videodrift_training_failures_total 0
 # HELP videodrift_checkpoint_failures_total Failed checkpoint write attempts.
 # TYPE videodrift_checkpoint_failures_total counter
 videodrift_checkpoint_failures_total 0
+# HELP videodrift_events_total Structured events recorded, by kind.
+# TYPE videodrift_events_total counter
+videodrift_events_total{kind="frame_observed"} 2
+videodrift_events_total{kind="martingale_update"} 1
+videodrift_events_total{kind="drift_declared"} 1
+videodrift_events_total{kind="selection_started"} 0
+videodrift_events_total{kind="selection_resolved"} 0
+videodrift_events_total{kind="model_trained"} 0
+videodrift_events_total{kind="model_deployed"} 1
+videodrift_events_total{kind="checkpoint_saved"} 0
+videodrift_events_total{kind="frame_quarantined"} 0
+videodrift_events_total{kind="worker_restarted"} 0
+videodrift_events_total{kind="training_failed"} 0
+videodrift_events_total{kind="checkpoint_failed"} 0
+videodrift_events_total{kind="health_changed"} 0
 # HELP videodrift_degraded Degradation state (0 ok, 1 degraded, 2 failed).
 # TYPE videodrift_degraded gauge
 videodrift_degraded 0
