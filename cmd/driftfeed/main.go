@@ -9,10 +9,16 @@
 //
 //	driftfeed [-addr localhost:9091] [-dataset bdd|detrac|tokyo|slow]
 //	          [-scale 0.02] [-tenants 2] [-frames 200] [-prefix cam]
-//	          [-http url] [-net-faults seed] [-v]
+//	          [-fps 0] [-http url] [-net-faults seed] [-v]
 //
 // With -http the frames go through driftserve's HTTP POST /ingest
 // fallback instead of raw TCP (e.g. -http http://localhost:9090/ingest).
+//
+// -addr accepts a comma-separated address list for a replicated
+// deployment (primary's ingest address first, standbys' after): when
+// every connection attempt to the current address fails, the client
+// rotates to the next and resumes its stream mid-sequence — the
+// promoted standby's router adopts the in-flight sequence number.
 //
 // With -net-faults a seeded wire-fault schedule is replayed against
 // each tenant's transmissions: corrupted payload bytes (rejected by
@@ -41,13 +47,14 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", "localhost:9091", "driftserve -ingest-addr to feed (TCP wire protocol)")
+	addr := flag.String("addr", "localhost:9091", "driftserve -ingest-addr to feed (TCP wire protocol); a comma-separated list fails over to the next address when a connection is refused (primary first, standbys after)")
 	httpURL := flag.String("http", "", "feed via HTTP POST to this URL instead of raw TCP (e.g. http://localhost:9090/ingest)")
 	dsName := flag.String("dataset", "bdd", "stream to replay: bdd, detrac, tokyo, slow")
 	scale := flag.Float64("scale", 0.02, "dataset stream scale (1.0 = paper sizes)")
 	tenants := flag.Int("tenants", 2, "concurrent tenant streams")
 	frames := flag.Int("frames", 200, "frames to deliver per tenant")
 	prefix := flag.String("prefix", "cam", "tenant id prefix (tenants are <prefix>-0 .. <prefix>-N-1)")
+	fps := flag.Float64("fps", 0, "per-tenant send rate limit in frames/second (0 = unthrottled)")
 	netFaults := flag.Int64("net-faults", 0, "replay a seeded wire-fault schedule per tenant: corrupt bytes, torn writes (0 = clean)")
 	verbose := flag.Bool("v", false, "log per-tenant progress")
 	flag.Parse()
@@ -56,6 +63,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "driftfeed: -tenants and -frames must be >= 1")
 		flag.Usage()
 		os.Exit(2)
+	}
+	var interval time.Duration
+	if *fps > 0 {
+		interval = time.Duration(float64(time.Second) / *fps)
 	}
 	var ds *dataset.Dataset
 	switch *dsName {
@@ -112,6 +123,9 @@ func main() {
 			}
 			defer c.Close()
 			for n := 0; n < *frames; n++ {
+				if interval > 0 && n > 0 {
+					time.Sleep(interval)
+				}
 				f, ok := stream.Next()
 				if !ok {
 					stream = tenantDS.Stream() // loop the dataset
@@ -143,8 +157,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "driftfeed: tenant %s failed after %d frames: %v\n", r.tenant, r.sent, r.err)
 			continue
 		}
-		fmt.Printf("tenant %s: delivered %d, sent %d, acked %d, dups %d, nacks %d, retries %d, reconnects %d\n",
-			r.tenant, r.sent, r.stats.Sent, r.stats.Acked, r.stats.Dups, r.stats.Nacks, r.stats.Retries, r.stats.Reconnects)
+		fmt.Printf("tenant %s: delivered %d, sent %d, acked %d, dups %d, nacks %d, retries %d, reconnects %d, failovers %d\n",
+			r.tenant, r.sent, r.stats.Sent, r.stats.Acked, r.stats.Dups, r.stats.Nacks, r.stats.Retries, r.stats.Reconnects, r.stats.Failovers)
 	}
 	fmt.Printf("driftfeed: %d tenants, %d frames delivered in %v, %d failed\n",
 		*tenants, delivered, elapsed.Round(time.Millisecond), failed)

@@ -46,6 +46,10 @@
 //	           [-chaos seed] [-stall-timeout 10s]
 //	           [-ingest-addr host:port] [-max-tenants 64] [-tenant-queue 256]
 //	           [-idle-evict 2m]
+//	           [-replicate-to host:port,...] [-replicate-every 1s]
+//	           [-replica-faults seed]
+//	driftserve -standby-of primaryhost:9090 -replica-addr host:port
+//	           [-probe-every 500ms] [-probe-fails 3] [-ingest-addr host:port]
 //
 // Streams loop forever (a fresh seed per lap keeps drifts coming) unless
 // -frames bounds the total; -fps throttles each shard's rate (0 runs
@@ -72,6 +76,34 @@
 // restart begins it again from frame zero. Checkpoint writes always go
 // through a capped-backoff retry policy; failures are counted in
 // telemetry.
+//
+// With -replicate-to, driftserve is a replication primary: every
+// -replicate-every it captures a consistent checkpoint between batches
+// and streams it to each listed standby over the internal/replica wire
+// protocol — a full snapshot to establish the standby's base, then
+// compact CRC-chained deltas while the standby keeps pace, with
+// resume-from-generation on reconnect. SIGTERM flushes a final delta
+// before exit. Every stream carries the primary's fencing epoch; once
+// any standby answers with a newer epoch (it promoted while this
+// primary was partitioned), the primary stops replicating permanently
+// and /healthz reports 503 "fenced" — the stale side of a split brain
+// takes itself out of service.
+//
+// With -standby-of, driftserve is a hot standby: it skips provisioning,
+// accepts the primary's replication stream on -replica-addr into a warm
+// in-memory checkpoint, and health-probes the primary's HTTP address.
+// After -probe-fails consecutive connection failures it promotes: the
+// fencing epoch is bumped past everything seen, a live fleet is built
+// from the replicated models and shard states, and the stream resumes
+// where the primary's last acknowledged generation left off. With
+// -ingest-addr the promoted standby opens the ingestion tier instead
+// (failed-over tenants resume mid-stream); until promotion /healthz
+// answers 200 "standby". Standby mode excludes -state-dir, -chaos and
+// -replicate-to.
+//
+// With -replica-faults, a seeded fault schedule (torn writes, dropped
+// connections) is replayed against the outgoing replication stream —
+// the chaos harness for the failover path.
 //
 // With -state-dir, driftserve periodically persists a full checkpoint —
 // every model (weights, reference samples, calibration) plus each
@@ -111,6 +143,7 @@ import (
 	"videodrift/internal/faults"
 	"videodrift/internal/ingest"
 	"videodrift/internal/query"
+	"videodrift/internal/replica"
 	"videodrift/internal/telemetry"
 	"videodrift/internal/vidsim"
 )
@@ -118,6 +151,21 @@ import (
 // chaosHorizon is the per-shard frame window the -chaos schedule covers;
 // faults land within the first chaosHorizon frames of each shard.
 const chaosHorizon = 5000
+
+// replicaFaultHorizon is the transmission window the -replica-faults
+// schedule covers.
+const replicaFaultHorizon = 1000
+
+// fleet bundles the live serving state the HTTP handlers read. It is
+// published through an atomic pointer because a standby starts with no
+// fleet (mon nil) and installs one at promotion, concurrently with
+// requests in flight.
+type fleet struct {
+	mon     *videodrift.ShardedMonitor
+	router  *ingest.Router
+	isrv    *ingest.Server
+	tracers []*telemetry.Tracer
+}
 
 func main() {
 	addr := flag.String("addr", ":9090", "HTTP listen address")
@@ -142,7 +190,15 @@ func main() {
 	maxTenants := flag.Int("max-tenants", 64, "max concurrently attached ingestion tenants (needs -ingest-addr)")
 	tenantQueue := flag.Int("tenant-queue", 256, "per-tenant bounded ingestion queue capacity (needs -ingest-addr)")
 	idleEvict := flag.Duration("idle-evict", 2*time.Minute, "detach ingestion tenants idle this long, freeing their shard (0 = never; needs -ingest-addr)")
+	replicateTo := flag.String("replicate-to", "", "comma-separated standby replication addresses to stream checkpoints to")
+	replicateEvery := flag.Duration("replicate-every", time.Second, "steady-state replication cadence (needs -replicate-to)")
+	replicaFaults := flag.Int64("replica-faults", 0, "replay a seeded fault schedule against the outgoing replication stream: torn writes, dropped connections (0 = off; needs -replicate-to)")
+	standbyOf := flag.String("standby-of", "", "run as a hot standby of the primary at this HTTP address (health-probed for automatic promotion)")
+	replicaAddr := flag.String("replica-addr", "", "TCP listen address for the inbound replication stream (needs -standby-of)")
+	probeEvery := flag.Duration("probe-every", 500*time.Millisecond, "primary health-probe interval (needs -standby-of)")
+	probeFails := flag.Int("probe-fails", 3, "consecutive failed probes before the standby promotes itself (needs -standby-of)")
 	flag.Parse()
+	standby := *standbyOf != ""
 
 	// Flag validation: a bad value dies here with a usage error, not as
 	// undefined behavior deep in the pipeline.
@@ -185,6 +241,34 @@ func main() {
 		if *idleEvict < 0 {
 			usageErr("-idle-evict must be >= 0, got %v", *idleEvict)
 		}
+	}
+	if standby {
+		if *replicaAddr == "" {
+			usageErr("-standby-of needs -replica-addr to accept the primary's replication stream")
+		}
+		if *replicateTo != "" {
+			usageErr("-standby-of and -replicate-to are exclusive: a standby becomes a primary only by promotion")
+		}
+		if *stateDir != "" {
+			usageErr("-state-dir does not combine with -standby-of yet: the standby's state is the replicated stream")
+		}
+		if *chaosSeed != 0 {
+			usageErr("-chaos drives a live fleet; a standby has none until promotion")
+		}
+		if *probeEvery <= 0 {
+			usageErr("-probe-every must be > 0, got %v", *probeEvery)
+		}
+		if *probeFails < 1 {
+			usageErr("-probe-fails must be >= 1, got %d", *probeFails)
+		}
+	} else if *replicaAddr != "" {
+		usageErr("-replica-addr needs -standby-of")
+	}
+	if *replicateTo != "" && *replicateEvery <= 0 {
+		usageErr("-replicate-every must be > 0, got %v", *replicateEvery)
+	}
+	if *replicaFaults != 0 && *replicateTo == "" {
+		usageErr("-replica-faults needs -replicate-to")
 	}
 
 	var ds *dataset.Dataset
@@ -239,7 +323,9 @@ func main() {
 	}
 
 	var env *experiments.Env
-	if cp != nil {
+	if cp != nil || standby {
+		// A standby's models arrive over the replication stream; a warm
+		// restart's come off disk. Either way, skip provisioning.
 		env = experiments.BuildEnvShell(ds, cfg, query.Count)
 	} else {
 		fmt.Fprintf(os.Stderr, "provisioning %d models for %s (%d training frames each)...\n",
@@ -252,7 +338,7 @@ func main() {
 	// ingest mode slots appear dynamically, so there is one base tracer
 	// and every tenant gets its own at attach time.
 	nTracers := *shards
-	if *ingestAddr != "" {
+	if *ingestAddr != "" || standby {
 		nTracers = 1
 	}
 	tracers := make([]*telemetry.Tracer, nTracers)
@@ -290,60 +376,41 @@ func main() {
 		Faults:       inj,
 		StallTimeout: *stallTimeout,
 	}
-	var mon *videodrift.ShardedMonitor
-	switch {
-	case *ingestAddr != "":
-		// The ingestion tier owns the tenant↔slot lifecycle: the fleet
-		// starts empty and shards attach on each tenant's first frame.
-		sopts.Shards = 0
-		sopts.Tracers = nil
-		sopts.Options.Tracer = tracers[0]
-		mon = videodrift.NewDynamicSharded(env.Registry.Entries(), env.Labeler(), sopts)
-	case cp != nil:
-		var err error
-		mon, err = videodrift.ResumeSharded(cp, env.Labeler(), sopts)
-		if err != nil {
-			log.Fatalf("resuming from checkpoint: %v", err)
-		}
-	default:
-		mon = videodrift.NewShardedMonitor(env.Registry.Entries(), env.Labeler(), sopts)
-	}
-
 	var processed atomic.Int64
-	processed.Store(int64(mon.Stats().Frames)) // nonzero after a warm restart
 	var done atomic.Bool
 
-	// The checkpoint scheduler may not touch the monitor while a batch is
-	// in flight; it asks the stream loop for a snapshot through ckptReq
-	// and the loop answers between batches. Once the loop exits (frame
-	// budget reached), streamDone unblocks direct captures.
+	// The checkpoint scheduler (and the replication primary) may not
+	// touch the monitor while a batch is in flight; they ask the stream
+	// loop for a snapshot through ckptReq and the loop answers between
+	// batches (the ingest pump answers the same way between pumps). Once
+	// the loop exits, streamDone unblocks direct captures.
 	ckptReq := make(chan chan *videodrift.Checkpoint)
 	streamDone := make(chan struct{})
 
 	// shutdown is closed once on SIGTERM/SIGINT; every periodic
-	// goroutine (ingest pump, checkpoint scheduler) selects on it so the
-	// process stops pumping before it flushes the final checkpoint.
+	// goroutine (ingest pump, checkpoint scheduler, replication loop,
+	// standby probe) selects on it so the process stops pumping before
+	// it flushes the final checkpoint.
 	shutdown := make(chan struct{})
 	pumpDone := make(chan struct{})
 
-	// With -ingest-addr, frames come off the network: the TCP wire
-	// server accepts tenant streams, the router queues them with
+	// startIngest opens the network ingestion tier over a fleet: the TCP
+	// wire server accepts tenant streams, the router queues them with
 	// backpressure, and a pump goroutine drains the queues through the
-	// fleet on a steady cadence. Without it, the classic synthetic
-	// self-feed drives the fleet.
-	var router *ingest.Router
-	var isrv *ingest.Server
-	if *ingestAddr != "" {
-		router = ingest.NewRouter(mon, ingest.Config{
-			MaxTenants: *maxTenants,
-			QueueCap:   *tenantQueue,
-			BatchSize:  *batchN,
-			IdleEvict:  *idleEvict,
+	// fleet on a steady cadence. resume marks a promoted standby, whose
+	// tenants fail over mid-stream. Runs at boot or at promotion.
+	startIngest := func(mon *videodrift.ShardedMonitor, resume bool) (*ingest.Router, *ingest.Server) {
+		router := ingest.NewRouter(mon, ingest.Config{
+			MaxTenants:    *maxTenants,
+			QueueCap:      *tenantQueue,
+			BatchSize:     *batchN,
+			IdleEvict:     *idleEvict,
+			ResumeStreams: resume,
 			NewTracer: func(tenant string) *telemetry.Tracer {
 				return telemetry.New(telemetry.Config{RingSize: *ring, PerFrame: *perFrame})
 			},
 		})
-		isrv = ingest.NewServer(router, ingest.ServerConfig{Logf: log.Printf})
+		isrv := ingest.NewServer(router, ingest.ServerConfig{Logf: log.Printf})
 		ln, err := net.Listen("tcp", *ingestAddr)
 		if err != nil {
 			log.Fatalf("ingest listen: %v", err)
@@ -362,6 +429,10 @@ func main() {
 				select {
 				case <-shutdown:
 					return
+				case reply := <-ckptReq:
+					// Between pumps the fleet is quiescent: a consistent
+					// capture point for the replication primary.
+					reply <- mon.Checkpoint()
 				case <-tick.C:
 					n, err := router.Pump()
 					if err != nil {
@@ -371,10 +442,14 @@ func main() {
 				}
 			}
 		}()
-		defer isrv.Close()
+		return router, isrv
 	}
 
-	if *ingestAddr == "" {
+	// startSelfFeed drives the classic synthetic self-feed over a fleet.
+	// Runs at boot or at promotion; the warm-restart fast-forward below
+	// also lands a promoted standby's streams on the right frame.
+	startSelfFeed := func(mon *videodrift.ShardedMonitor) {
+		nshards := mon.Shards()
 		go func() {
 			defer close(streamDone)
 			defer done.Store(true)
@@ -387,8 +462,8 @@ func main() {
 			// lap-seed schedule, so the shards drift at different times — the
 			// realistic multi-camera load. All shards advance in lockstep, one
 			// frame per shard per batch.
-			streams := make([]*vidsim.Stream, *shards)
-			laps := make([]int, *shards)
+			streams := make([]*vidsim.Stream, nshards)
+			laps := make([]int, nshards)
 			newStream := func(s, lap int) *vidsim.Stream {
 				lapDS := *ds
 				lapDS.Seed = ds.Seed + int64(s)*104729 + int64(lap)*7907
@@ -418,7 +493,7 @@ func main() {
 			// the classic lockstep one-frame-per-shard cadence. The chaos and
 			// lap-seed schedules key on the per-shard stream index, so batching
 			// never moves a fault or a drift.
-			batches := make([][]vidsim.Frame, *shards)
+			batches := make([][]vidsim.Frame, nshards)
 			for step := 0; ; {
 				select {
 				case reply := <-ckptReq:
@@ -485,17 +560,62 @@ func main() {
 		}()
 	}
 
+	// Build the live fleet — except in standby mode, where the fleet
+	// appears at promotion from the replicated checkpoint.
+	var flt atomic.Pointer[fleet]
+	if standby {
+		flt.Store(&fleet{tracers: tracers})
+	} else {
+		var mon *videodrift.ShardedMonitor
+		switch {
+		case *ingestAddr != "":
+			// The ingestion tier owns the tenant↔slot lifecycle: the fleet
+			// starts empty and shards attach on each tenant's first frame.
+			sopts.Shards = 0
+			sopts.Tracers = nil
+			sopts.Options.Tracer = tracers[0]
+			mon = videodrift.NewDynamicSharded(env.Registry.Entries(), env.Labeler(), sopts)
+		case cp != nil:
+			var err error
+			mon, err = videodrift.ResumeSharded(cp, env.Labeler(), sopts)
+			if err != nil {
+				log.Fatalf("resuming from checkpoint: %v", err)
+			}
+		default:
+			mon = videodrift.NewShardedMonitor(env.Registry.Entries(), env.Labeler(), sopts)
+		}
+		processed.Store(int64(mon.Stats().Frames)) // nonzero after a warm restart
+		f := &fleet{mon: mon, tracers: tracers}
+		if *ingestAddr != "" {
+			f.router, f.isrv = startIngest(mon, false)
+		} else {
+			startSelfFeed(mon)
+		}
+		flt.Store(f)
+	}
+
 	// capture obtains a consistent checkpoint: through the stream loop's
 	// handshake while it is running, directly once it has exited.
 	capture := func() *videodrift.Checkpoint {
+		f := flt.Load()
+		if f.mon == nil {
+			return nil
+		}
 		reply := make(chan *videodrift.Checkpoint, 1)
 		select {
 		case ckptReq <- reply:
 			return <-reply
 		case <-streamDone:
-			return mon.Checkpoint()
+			return f.mon.Checkpoint()
 		}
 	}
+
+	// The replication primary, wired below once capture-dependent state
+	// exists; declared here so saveCheckpoint stamps its generation and
+	// fencing epoch on persisted checkpoints.
+	var prim *replica.Primary
+	var primDone chan struct{}
+	var fencedEpoch atomic.Uint64
 
 	var lastCkpt atomic.Int64
 	lastCkpt.Store(time.Now().UnixNano()) // freshness clock starts at boot
@@ -512,6 +632,14 @@ func main() {
 		}
 		start := time.Now()
 		cp := capture()
+		if cp == nil {
+			return
+		}
+		if prim != nil {
+			// A warm restart of a replicating primary must resume the same
+			// fencing epoch (and generation counter) it streamed under.
+			cp.Gen, cp.Epoch = prim.Gen(), prim.Epoch()
+		}
 		var path string
 		// A failed write never loses state: the store's atomic
 		// temp+rename leaves the previous generation intact, so retrying
@@ -559,18 +687,167 @@ func main() {
 		}()
 	}
 
-	// shardTracer resolves the ?shard=k query parameter (default 0).
+	// With -replicate-to, this process is a replication primary: capture
+	// a generation every -replicate-every and stream it (delta where
+	// possible) to each standby, under a fencing epoch resumed from the
+	// warm-restart checkpoint when there is one.
+	if *replicateTo != "" {
+		epoch := uint64(1)
+		if cp != nil && cp.Epoch > epoch {
+			epoch = cp.Epoch
+		}
+		var addrs []string
+		for _, a := range strings.Split(*replicateTo, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		rcfg := replica.PrimaryConfig{
+			Addrs:    addrs,
+			Epoch:    epoch,
+			Capture:  capture,
+			Interval: *replicateEvery,
+			Tracer:   tracers[0],
+			Logf:     log.Printf,
+			OnFenced: func(e uint64) { fencedEpoch.Store(e) },
+		}
+		if *replicaFaults != 0 {
+			sched := faults.GenerateReplica(*replicaFaults, replicaFaultHorizon, 0.05, 0.02)
+			rinj := faults.NewReplicaInjector(sched)
+			rcfg.TxFault = rinj.Tx
+			fmt.Fprintf(os.Stderr, "replica faults seed %d: %d scheduled over the first %d transmissions\n",
+				*replicaFaults, len(sched.Faults), replicaFaultHorizon)
+		}
+		prim = replica.NewPrimary(rcfg)
+		primDone = make(chan struct{})
+		fmt.Fprintf(os.Stderr, "replicating to %s every %v (fencing epoch %d)\n",
+			strings.Join(addrs, ", "), *replicateEvery, epoch)
+		go func() {
+			prim.Run(shutdown)
+			close(primDone)
+		}()
+	}
+
+	// With -standby-of, this process is a hot standby: accept the
+	// primary's replication stream into a warm checkpoint and probe the
+	// primary's health, promoting after -probe-fails consecutive
+	// connection failures. Promotion is terminal: the fencing epoch is
+	// bumped, a live fleet is built from the replicated state, and any
+	// reconnecting stale primary is answered with Fenced.
+	var sb *replica.Standby
+	var rln net.Listener
+	if standby {
+		sb = replica.NewStandby(replica.StandbyConfig{
+			Tracer: tracers[0],
+			Logf:   log.Printf,
+		})
+		var err error
+		rln, err = net.Listen("tcp", *replicaAddr)
+		if err != nil {
+			log.Fatalf("replica listen: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "standby of %s: accepting replication on %s\n", *standbyOf, rln.Addr())
+		go func() {
+			if err := sb.Serve(rln); err != nil {
+				log.Printf("replica serve: %v", err)
+			}
+		}()
+
+		promote := func(reason string) {
+			pcp, epoch, err := sb.Promote(reason)
+			if err != nil {
+				log.Printf("promote: %v", err)
+				return
+			}
+			log.Printf("promoted to primary at generation %d, epoch %d (%s): %d models, %d shards",
+				pcp.Gen, epoch, reason, len(pcp.Entries), len(pcp.Shards))
+			if *ingestAddr != "" {
+				// Serve failed-over tenants: a dynamic fleet over the
+				// replicated models, with mid-stream sequence adoption.
+				iopts := sopts
+				iopts.Shards = 0
+				iopts.Tracers = nil
+				iopts.Options.Tracer = tracers[0]
+				mon := videodrift.NewDynamicSharded(pcp.Entries, env.Labeler(), iopts)
+				f := &fleet{mon: mon, tracers: tracers}
+				f.router, f.isrv = startIngest(mon, true)
+				flt.Store(f)
+				return
+			}
+			// Resume the synthetic self-feed exactly where the replicated
+			// state left off, one tracer per shard (the standby's tracer
+			// keeps shard 0 so the replication history stays visible).
+			ropts := sopts
+			ropts.Shards = len(pcp.Shards)
+			rtr := make([]*telemetry.Tracer, len(pcp.Shards))
+			rtr[0] = tracers[0]
+			for i := 1; i < len(rtr); i++ {
+				rtr[i] = telemetry.New(telemetry.Config{RingSize: *ring, PerFrame: *perFrame})
+			}
+			ropts.Tracers = rtr
+			mon, err := videodrift.ResumeSharded(pcp, env.Labeler(), ropts)
+			if err != nil {
+				log.Printf("promote: resuming fleet: %v", err)
+				return
+			}
+			processed.Store(int64(mon.Stats().Frames))
+			flt.Store(&fleet{mon: mon, tracers: rtr})
+			startSelfFeed(mon)
+		}
+
+		go func() {
+			probeURL := *standbyOf
+			if !strings.Contains(probeURL, "://") {
+				probeURL = "http://" + probeURL
+			}
+			probeURL = strings.TrimSuffix(probeURL, "/") + "/healthz"
+			client := &http.Client{Timeout: *probeEvery}
+			tick := time.NewTicker(*probeEvery)
+			defer tick.Stop()
+			fails := 0
+			for {
+				select {
+				case <-shutdown:
+					return
+				case <-tick.C:
+					resp, err := client.Get(probeURL)
+					if err == nil {
+						// Any HTTP answer — even 503 — proves the primary is
+						// alive; promotion is for a dead peer, not a degraded
+						// one (a degraded primary still owns its stream).
+						resp.Body.Close()
+						fails = 0
+						continue
+					}
+					fails++
+					if fails < *probeFails {
+						continue
+					}
+					if sb.Gen() == 0 {
+						// Nothing replicated yet: nothing to promote.
+						continue
+					}
+					promote(fmt.Sprintf("primary unreachable after %d probes", fails))
+					return
+				}
+			}
+		}()
+	}
+
+	// shardTracer resolves the ?shard=k query parameter (default 0)
+	// against the live fleet's tracers (which a promotion may replace).
 	shardTracer := func(w http.ResponseWriter, r *http.Request) *telemetry.Tracer {
+		trs := flt.Load().tracers
 		q := r.URL.Query().Get("shard")
 		if q == "" {
-			return tracers[0]
+			return trs[0]
 		}
 		k, err := strconv.Atoi(q)
-		if err != nil || k < 0 || k >= len(tracers) {
-			http.Error(w, fmt.Sprintf("shard must be in [0,%d)", len(tracers)), http.StatusBadRequest)
+		if err != nil || k < 0 || k >= len(trs) {
+			http.Error(w, fmt.Sprintf("shard must be in [0,%d)", len(trs)), http.StatusBadRequest)
 			return nil
 		}
-		return tracers[k]
+		return trs[k]
 	}
 
 	mux := http.NewServeMux()
@@ -583,7 +860,7 @@ func main() {
 		if err := tr.WritePrometheusTo(w); err != nil {
 			log.Printf("/metrics: %v", err)
 		}
-		if router != nil {
+		if router := flt.Load().router; router != nil {
 			if err := router.WritePrometheus(w); err != nil {
 				log.Printf("/metrics (ingest): %v", err)
 			}
@@ -641,6 +918,11 @@ func main() {
 	// for the forensic endpoints; reads on a Monitor's recorder and
 	// registry are safe while batches run.
 	shardMonitor := func(w http.ResponseWriter, r *http.Request) *videodrift.Monitor {
+		mon := flt.Load().mon
+		if mon == nil {
+			http.Error(w, "standby: no fleet until promotion", http.StatusServiceUnavailable)
+			return nil
+		}
 		k := 0
 		if q := r.URL.Query().Get("shard"); q != "" {
 			var err error
@@ -689,6 +971,30 @@ func main() {
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
+		f := flt.Load()
+		if f.mon == nil {
+			// Un-promoted standby: alive and warming, no fleet yet.
+			resp := map[string]interface{}{
+				"status":    "standby",
+				"mode":      "standby",
+				"streaming": false,
+				"shards":    0,
+				"frames":    int64(0),
+				"replication": map[string]interface{}{
+					"role":       "standby",
+					"primary":    *standbyOf,
+					"epoch":      sb.Epoch(),
+					"generation": sb.Gen(),
+					"applied":    sb.Applied(),
+				},
+			}
+			w.WriteHeader(http.StatusOK)
+			if err := json.NewEncoder(w).Encode(resp); err != nil {
+				log.Printf("/healthz: %v", err)
+			}
+			return
+		}
+		mon, router := f.mon, f.router
 		h := mon.Health()
 		stats := mon.Stats()
 		shardHealth := make([]map[string]interface{}, len(h.Shards))
@@ -728,6 +1034,30 @@ func main() {
 			}
 			code = http.StatusServiceUnavailable
 		}
+		if prim != nil {
+			rep := map[string]interface{}{
+				"role":            "primary",
+				"epoch":           prim.Epoch(),
+				"generation":      prim.Gen(),
+				"lag_generations": prim.Lag(),
+			}
+			if e := fencedEpoch.Load(); e != 0 {
+				// A standby promoted past us: this primary is the stale side
+				// of a partition and must not be treated as live.
+				rep["fenced_by_epoch"] = e
+				resp["status"] = "fenced"
+				code = http.StatusServiceUnavailable
+			}
+			resp["replication"] = rep
+		}
+		if sb != nil {
+			resp["replication"] = map[string]interface{}{
+				"role":       "promoted",
+				"epoch":      sb.Epoch(),
+				"generation": sb.Gen(),
+				"applied":    sb.Applied(),
+			}
+		}
 		if st != nil {
 			age := time.Since(time.Unix(0, lastCkpt.Load()))
 			resp["state_dir"] = st.Dir()
@@ -746,8 +1076,17 @@ func main() {
 			log.Printf("/healthz: %v", err)
 		}
 	})
-	if isrv != nil {
-		mux.Handle("/ingest", isrv.HTTPHandler())
+	if *ingestAddr != "" {
+		// In standby mode the ingest server only exists after promotion,
+		// so the route resolves through the fleet pointer per request.
+		mux.HandleFunc("/ingest", func(w http.ResponseWriter, r *http.Request) {
+			isrv := flt.Load().isrv
+			if isrv == nil {
+				http.Error(w, "standby: ingestion tier opens at promotion", http.StatusServiceUnavailable)
+				return
+			}
+			isrv.HTTPHandler().ServeHTTP(w, r)
+		})
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -759,13 +1098,19 @@ func main() {
 			http.NotFound(w, r)
 			return
 		}
-		if router != nil {
+		f := flt.Load()
+		if f.mon == nil {
+			fmt.Fprintf(w, "driftserve: hot standby of %s (replication on %s)\nendpoints: /metrics /snapshot /events /healthz /debug/pprof/\n",
+				*standbyOf, *replicaAddr)
+			return
+		}
+		if f.router != nil {
 			fmt.Fprintf(w, "driftserve: %s models, network ingestion on %s (%d max tenants), %s selector\nendpoints: /metrics /snapshot /events /drift/ /drift/<id> /healthz /ingest (POST) /debug/pprof/ (?shard=k)\n",
 				ds.Name, *ingestAddr, *maxTenants, sel)
 			return
 		}
 		fmt.Fprintf(w, "driftserve: %s stream ×%d shards, %s selector\nendpoints: /metrics /snapshot /events /drift/ /drift/<id> /healthz /debug/pprof/ (?shard=k)\n",
-			ds.Name, len(tracers), sel)
+			ds.Name, len(f.tracers), sel)
 	})
 
 	fmt.Fprintf(os.Stderr, "serving telemetry on %s (endpoints: /metrics /snapshot /events /healthz /debug/pprof/)\n", *addr)
@@ -784,15 +1129,39 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	s := <-sig
 	close(shutdown)
-	if router != nil {
+	f := flt.Load()
+	if f.router != nil {
 		<-pumpDone
-		if n, err := router.Pump(); err != nil {
+		if n, err := f.router.Pump(); err != nil {
 			log.Printf("ingest final drain: %v", err)
 		} else {
 			processed.Add(int64(n))
 		}
+		if prim != nil {
+			// The pump has exited, so replication captures can no longer go
+			// through the handshake; open the direct path for the flush.
+			close(streamDone)
+		}
+	}
+	if prim != nil {
+		<-primDone
+		// Flush the last generation so the standby holds the exact kill
+		// point — in self-feed mode the stream loop still answers the
+		// capture handshake between batches.
+		fmt.Fprintf(os.Stderr, "%v: flushing final generation to standbys...\n", s)
+		if err := prim.Cycle(); err != nil && !errors.Is(err, replica.ErrFenced) {
+			log.Printf("replica: final flush: %v", err)
+		}
+		prim.Close()
 	}
 	hsrv.Close()
+	if f.isrv != nil {
+		f.isrv.Close()
+	}
+	if sb != nil {
+		rln.Close()
+		sb.Close()
+	}
 	if st != nil {
 		fmt.Fprintf(os.Stderr, "%v: flushing final checkpoint to %s...\n", s, st.Dir())
 		saveCheckpoint("shutdown")

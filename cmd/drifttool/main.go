@@ -6,6 +6,7 @@
 //
 //	drifttool [-dataset bdd|detrac|tokyo|slow] [-scale 0.02] [-selector msbo|msbi] [-v]
 //	drifttool inspect <checkpoint>
+//	drifttool [-verify] inspect <state-dir>
 //	drifttool [-drift id] [-shard n] explain <checkpoint>
 //	drifttool health <addr>
 //	drifttool lint [packages]
@@ -16,6 +17,12 @@
 // position, its per-kind telemetry event counts, and its last retained
 // drift declaration. Damaged files report typed errors instead of
 // partial output.
+//
+// Given a directory (or with -verify), inspect instead walks every
+// checkpoint and delta generation in the state dir, re-checksums each
+// envelope and every per-model entry inside it, and prints one line per
+// file. Exit status 1 if any file is damaged — the scrub a backup or a
+// standby's replicated state dir gets before being trusted.
 //
 // The explain subcommand renders the forensic report of the drift
 // declarations a checkpoint retains (written with forensics enabled):
@@ -59,6 +66,7 @@ func main() {
 	verbose := flag.Bool("v", false, "log per-sequence accuracy while streaming")
 	driftID := flag.String("drift", "", "explain: narrow to one drift declaration ID")
 	shard := flag.Int("shard", -1, "explain: narrow to one shard (-1 = all)")
+	verify := flag.Bool("verify", false, "inspect: re-checksum every checkpoint and delta generation in a state dir; exit 1 on damage")
 	flag.Parse()
 
 	if flag.Arg(0) == "lint" {
@@ -70,11 +78,22 @@ func main() {
 	}
 	if flag.Arg(0) == "inspect" {
 		if flag.NArg() != 2 {
-			log.Fatal("usage: drifttool inspect <checkpoint>")
+			log.Fatal("usage: drifttool [-verify] inspect <checkpoint|state-dir>")
 		}
-		d, err := store.Inspect(flag.Arg(1))
+		path := flag.Arg(1)
+		if fi, err := os.Stat(path); *verify || (err == nil && fi.IsDir()) {
+			results, err := store.VerifyDir(path)
+			if err != nil {
+				log.Fatalf("verify %s: %v", path, err)
+			}
+			if damaged := store.WriteVerifyText(os.Stdout, path, results); damaged != 0 {
+				os.Exit(1)
+			}
+			return
+		}
+		d, err := store.Inspect(path)
 		if err != nil {
-			log.Fatalf("inspect %s: %v", flag.Arg(1), err)
+			log.Fatalf("inspect %s: %v", path, err)
 		}
 		d.WriteText(os.Stdout)
 		return

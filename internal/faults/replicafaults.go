@@ -1,0 +1,181 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"videodrift/internal/stats"
+)
+
+// ReplicaFaultKind enumerates the injectable replication-stream faults.
+type ReplicaFaultKind uint8
+
+const (
+	// ReplicaTornStream cuts a streamed generation short mid-message and
+	// drops the connection — the torn delta stream a crashing or
+	// partitioned primary produces. The standby's framing (or CRC) layer
+	// rejects the fragment and the reconnect resumes from its Hello
+	// generation.
+	ReplicaTornStream ReplicaFaultKind = iota
+	// ReplicaDropConn tears the connection before any byte of the
+	// message is written — a partition between generations, so the
+	// standby simply lags until the primary reconnects.
+	ReplicaDropConn
+
+	replicaKindCount
+)
+
+var replicaKindNames = [replicaKindCount]string{
+	"replica_torn_stream",
+	"replica_drop_conn",
+}
+
+// String returns the kind's snake_case name.
+func (k ReplicaFaultKind) String() string {
+	if int(k) < len(replicaKindNames) {
+		return replicaKindNames[k]
+	}
+	return fmt.Sprintf("replicakind(%d)", int(k))
+}
+
+// ReplicaFault is one scheduled replication fault: Kind fires on the
+// Msg-th generation the primary ships (0-based, counting retries — the
+// in-cycle retry of a torn send is a new transmission, so a faulted
+// generation's resend eventually lands clean).
+type ReplicaFault struct {
+	Msg  int
+	Kind ReplicaFaultKind
+}
+
+// ReplicaSchedule is a seeded, replayable replication-fault plan, the
+// replication sibling of NetSchedule: identical schedules tear the
+// stream at identical offsets.
+type ReplicaSchedule struct {
+	// Seed derives every data-dependent choice (where to cut the write).
+	Seed int64
+	// Faults holds the per-transmission faults, sorted by (msg, kind).
+	Faults []ReplicaFault
+}
+
+// GenerateReplica builds a replication-fault schedule: over the first
+// msgs shipped generations, each independently suffers a torn stream
+// with probability tornRate and a dropped connection with probability
+// dropRate. Same seed and arguments, same schedule.
+func GenerateReplica(seed int64, msgs int, tornRate, dropRate float64) ReplicaSchedule {
+	r := stats.NewRNG(seed)
+	s := ReplicaSchedule{Seed: seed}
+	for m := 0; m < msgs; m++ {
+		if tornRate > 0 && r.Float64() < tornRate {
+			s.Faults = append(s.Faults, ReplicaFault{Msg: m, Kind: ReplicaTornStream})
+		}
+		if dropRate > 0 && r.Float64() < dropRate {
+			s.Faults = append(s.Faults, ReplicaFault{Msg: m, Kind: ReplicaDropConn})
+		}
+	}
+	sort.Slice(s.Faults, func(i, j int) bool {
+		if s.Faults[i].Msg != s.Faults[j].Msg {
+			return s.Faults[i].Msg < s.Faults[j].Msg
+		}
+		return s.Faults[i].Kind < s.Faults[j].Kind
+	})
+	return s
+}
+
+// ReplicaStats counts the replication faults an injector has fired.
+type ReplicaStats struct {
+	Fired [replicaKindCount]int
+}
+
+// Count returns the fired count for one kind.
+func (s ReplicaStats) Count(k ReplicaFaultKind) int {
+	if int(k) < len(s.Fired) {
+		return s.Fired[k]
+	}
+	return 0
+}
+
+// Total returns the total replication faults fired.
+func (s ReplicaStats) Total() int {
+	n := 0
+	for _, c := range s.Fired {
+		n += c
+	}
+	return n
+}
+
+// ReplicaInjector replays a ReplicaSchedule against a primary's
+// outgoing replication messages; its Tx method matches the
+// replica.PrimaryConfig.TxFault seam. All methods are safe on a nil
+// receiver (no-ops) and for concurrent use. Cut offsets derive only
+// from (Seed, msg), never from call order.
+type ReplicaInjector struct {
+	sched ReplicaSchedule
+
+	mu    sync.Mutex
+	at    map[int][]ReplicaFaultKind
+	stats ReplicaStats
+}
+
+// NewReplicaInjector builds an injector over a replication-fault
+// schedule.
+func NewReplicaInjector(s ReplicaSchedule) *ReplicaInjector {
+	in := &ReplicaInjector{sched: s, at: make(map[int][]ReplicaFaultKind, len(s.Faults))}
+	for _, f := range s.Faults {
+		in.at[f.Msg] = append(in.at[f.Msg], f.Kind)
+	}
+	return in
+}
+
+// Schedule returns the injector's schedule.
+func (in *ReplicaInjector) Schedule() ReplicaSchedule {
+	if in == nil {
+		return ReplicaSchedule{}
+	}
+	return in.sched
+}
+
+// Stats returns the counts of replication faults fired so far.
+func (in *ReplicaInjector) Stats() ReplicaStats {
+	if in == nil {
+		return ReplicaStats{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// Tx runs the faults scheduled for transmission msg on the encoded
+// replication message b. It returns the bytes to actually write and
+// whether the sender should drop the connection after writing them.
+// The input is never mutated; with no fault scheduled the original
+// slice comes back unchanged.
+func (in *ReplicaInjector) Tx(msg int, b []byte) ([]byte, bool) {
+	if in == nil {
+		return b, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	kinds := in.at[msg]
+	if len(kinds) == 0 {
+		return b, false
+	}
+	out, tear := b, false
+	r := stats.NewRNG(in.sched.Seed ^ int64(msg)*7_919)
+	for _, k := range kinds {
+		switch k {
+		case ReplicaTornStream:
+			if len(out) > 1 {
+				cut := 1 + r.Intn(len(out)-1)
+				out = out[:cut]
+			}
+			tear = true
+			in.stats.Fired[ReplicaTornStream]++
+		case ReplicaDropConn:
+			out = nil
+			tear = true
+			in.stats.Fired[ReplicaDropConn]++
+		}
+	}
+	return out, tear
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"time"
 
 	"videodrift/internal/vidsim"
@@ -19,7 +20,11 @@ const (
 
 // ClientConfig parameterizes a Client.
 type ClientConfig struct {
-	// Addr is the server's TCP address.
+	// Addr is the server's TCP address — or a comma-separated list of
+	// addresses for a replicated deployment (primary first, standbys
+	// after). The client sticks to one address while it works and
+	// rotates to the next on connection failure, so a kill -9'd primary
+	// hands the stream to its promoted standby without operator action.
 	Addr string
 	// Tenant is the stream identity every frame is sent under
 	// (1..MaxTenant bytes).
@@ -54,8 +59,9 @@ type ClientStats struct {
 	// Sent counts transmissions (including retries); Acked frames
 	// accepted; Dups idempotent re-acks (a resend whose original made
 	// it); Nacks rejections of any kind; Retries re-sends of a frame;
-	// Reconnects connection re-establishments after the first.
-	Sent, Acked, Dups, Nacks, Retries, Reconnects int64
+	// Reconnects connection re-establishments after the first;
+	// Failovers rotations to a different configured address.
+	Sent, Acked, Dups, Nacks, Retries, Reconnects, Failovers int64
 }
 
 // NackError is returned when the server's rejection exhausts the
@@ -74,17 +80,29 @@ func (e *NackError) Error() string {
 // use; one goroutine owns one tenant stream, matching the protocol's
 // per-tenant total order.
 type Client struct {
-	cfg   ClientConfig
-	conn  net.Conn
-	seq   uint64 // next sequence number to assign
-	tx    int    // transmission counter (TxFault key)
-	stats ClientStats
+	cfg       ClientConfig
+	addrs     []string
+	addrIdx   int // index of the address currently (or last) connected
+	connFails int // consecutive all-address connect failures
+	conn      net.Conn
+	seq       uint64 // next sequence number to assign
+	tx        int    // transmission counter (TxFault key)
+	stats     ClientStats
 }
 
 // Dial builds a client and establishes its first connection.
 func Dial(cfg ClientConfig) (*Client, error) {
 	if cfg.Tenant == "" || len(cfg.Tenant) > MaxTenant {
 		return nil, fmt.Errorf("%w: tenant id must be 1..%d bytes", ErrMalformed, MaxTenant)
+	}
+	var addrs []string
+	for _, a := range strings.Split(cfg.Addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("%w: no server address", ErrMalformed)
 	}
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = DefaultDialTimeout
@@ -104,21 +122,32 @@ func Dial(cfg ClientConfig) (*Client, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	c := &Client{cfg: cfg}
+	c := &Client{cfg: cfg, addrs: addrs}
 	if err := c.connect(); err != nil {
 		return nil, err
 	}
 	return c, nil
 }
 
-// connect (re)establishes the TCP connection.
+// connect (re)establishes the TCP connection, preferring the address
+// that last worked and rotating through the rest on failure.
 func (c *Client) connect() error {
-	conn, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
-	if err != nil {
-		return err
+	var lastErr error
+	for i := 0; i < len(c.addrs); i++ {
+		idx := (c.addrIdx + i) % len(c.addrs)
+		conn, err := net.DialTimeout("tcp", c.addrs[idx], c.cfg.DialTimeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if idx != c.addrIdx {
+			c.addrIdx = idx
+			c.stats.Failovers++
+		}
+		c.conn = conn
+		return nil
 	}
-	c.conn = conn
-	return nil
+	return lastErr
 }
 
 // drop closes the current connection (if any).
@@ -157,10 +186,27 @@ func (c *Client) Send(f vidsim.Frame) error {
 	for attempts < c.cfg.MaxAttempts && backoffs < c.cfg.MaxBackoff {
 		if c.conn == nil {
 			if err := c.connect(); err != nil {
-				attempts++
 				lastErr = err
+				if len(c.addrs) > 1 {
+					// Every address refused. During a failover that is the
+					// expected window while the standby promotes, so it spends
+					// the larger backpressure budget with a capped exponential
+					// wait rather than burning the per-frame attempt budget.
+					backoffs++
+					if c.connFails < 10 {
+						c.connFails++
+					}
+					d := 5 * time.Millisecond << uint(c.connFails)
+					if d > 500*time.Millisecond {
+						d = 500 * time.Millisecond
+					}
+					c.cfg.Sleep(d)
+				} else {
+					attempts++
+				}
 				continue
 			}
+			c.connFails = 0
 			c.stats.Reconnects++
 		}
 		out, tear := wire, false

@@ -1,0 +1,127 @@
+package ingest
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRouterResumeStreams pins the promoted-standby admission rule: a
+// brand-new tenant's first frame defines its stream position instead of
+// being forced to seq 0, but only at tenant creation — a returning
+// evicted tenant still resumes the position the router retained.
+func TestRouterResumeStreams(t *testing.T) {
+	_, opts := sharedModels()
+	now := time.Unix(3000, 0)
+	r := NewRouter(testFleet(opts), Config{
+		ResumeStreams: true, IdleEvict: time.Minute,
+		Now: func() time.Time { return now },
+	})
+	stream := testStream(12, 21)
+
+	// A failed-over client arrives mid-stream at seq 7.
+	if v := r.Submit(MsgFromFrame("cam-a", 7, stream[7])); !v.Ack || v.Dup {
+		t.Fatalf("mid-stream first contact: verdict %+v, want clean ack", v)
+	}
+	submitFrames(t, r, "cam-a", stream, 8, 10)
+	// Behind the adopted position is a dup, ahead is still a gap.
+	if v := r.Submit(MsgFromFrame("cam-a", 7, stream[7])); !v.Ack || !v.Dup {
+		t.Fatalf("replay below adopted seq: verdict %+v, want dup ack", v)
+	}
+	if v := r.Submit(MsgFromFrame("cam-a", 11, stream[11])); v.Ack || v.Code != NackBadSeq ||
+		!strings.Contains(v.Reason, "want seq 10, got 11") {
+		t.Fatalf("gap above adopted seq: verdict %+v, want NackBadSeq naming seq 10", v)
+	}
+
+	// Evict the tenant; its return must NOT re-adopt an arbitrary seq —
+	// the retained position still governs.
+	if _, err := r.Pump(); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(2 * time.Minute)
+	if _, err := r.Pump(); err != nil {
+		t.Fatal(err)
+	}
+	if s := r.Stats(); s.Evictions != 1 || s.Active != 0 {
+		t.Fatalf("eviction setup failed: %+v", s)
+	}
+	if v := r.Submit(MsgFromFrame("cam-a", 11, stream[11])); v.Ack || v.Code != NackBadSeq {
+		t.Fatalf("returning evicted tenant adopted a gap: verdict %+v", v)
+	}
+	submitFrames(t, r, "cam-a", stream, 10, 12)
+
+	// Without ResumeStreams, mid-stream first contact is still a gap.
+	strict := NewRouter(testFleet(opts), Config{})
+	if v := strict.Submit(MsgFromFrame("cam-b", 7, stream[7])); v.Ack || v.Code != NackBadSeq ||
+		!strings.Contains(v.Reason, "want seq 0, got 7") {
+		t.Fatalf("strict router accepted mid-stream first contact: %+v", v)
+	}
+}
+
+// TestClientFailover drives the wire-level failover path: a client
+// configured with two addresses streams to the primary, the primary is
+// killed mid-stream, and the client rotates to the standby and resumes
+// its sequence there — no frame lost, no sequence disruption, because
+// the standby's router runs with ResumeStreams.
+func TestClientFailover(t *testing.T) {
+	_, opts := sharedModels()
+
+	primary := NewServer(NewRouter(testFleet(opts), Config{}), ServerConfig{Logf: t.Logf})
+	go primary.ListenAndServe("127.0.0.1:0")
+	for primary.Addr() == nil {
+		time.Sleep(time.Millisecond)
+	}
+	standbyRouter := NewRouter(testFleet(opts), Config{ResumeStreams: true})
+	standbySrv := NewServer(standbyRouter, ServerConfig{Logf: t.Logf})
+	go standbySrv.ListenAndServe("127.0.0.1:0")
+	defer standbySrv.Close()
+	for standbySrv.Addr() == nil {
+		time.Sleep(time.Millisecond)
+	}
+
+	stream := testStream(20, 22)
+	c, err := Dial(ClientConfig{
+		Addr:   primary.Addr().String() + "," + standbySrv.Addr().String(),
+		Tenant: "cam-a",
+		Sleep:  func(time.Duration) {}, // no wall-clock waits in tests
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for i := 0; i < 8; i++ {
+		if err := c.Send(stream[i]); err != nil {
+			t.Fatalf("frame %d (primary): %v", i, err)
+		}
+	}
+	if got := c.Stats().Failovers; got != 0 {
+		t.Fatalf("healthy primary: %d failovers, want 0", got)
+	}
+
+	// kill -9 the primary: every connection drops, new dials are refused.
+	primary.Close()
+
+	for i := 8; i < 20; i++ {
+		if err := c.Send(stream[i]); err != nil {
+			t.Fatalf("frame %d (after failover): %v", i, err)
+		}
+	}
+	st := c.Stats()
+	if st.Failovers < 1 {
+		t.Fatalf("stats %+v, want at least one failover", st)
+	}
+	if st.Acked != 20 {
+		t.Fatalf("acked %d frames, want all 20", st.Acked)
+	}
+
+	// The standby adopted the stream mid-sequence: exactly the frames
+	// sent after the kill, starting at the in-flight sequence number.
+	ss := standbyRouter.Stats()
+	if ss.Accepted != 12 || len(ss.Tenants) != 1 || ss.Tenants[0].Tenant != "cam-a" {
+		t.Fatalf("standby accepted %d frames from %d tenants, want 12 from cam-a", ss.Accepted, len(ss.Tenants))
+	}
+	if v := standbyRouter.Submit(MsgFromFrame("cam-a", 19, stream[19])); !v.Ack || !v.Dup {
+		t.Fatalf("standby lost the adopted sequence position: %+v", v)
+	}
+}

@@ -52,6 +52,13 @@ type Config struct {
 	// evict/reattach so the tenant's history survives). Nil shares the
 	// fleet's base tracer.
 	NewTracer func(tenant string) *telemetry.Tracer
+	// ResumeStreams makes a brand-new tenant's first frame define its
+	// stream position instead of requiring seq 0 — the promoted-standby
+	// case, where clients fail over mid-stream to a server that has
+	// never seen them. Only tenant creation adopts the sequence; a
+	// returning evicted tenant still resumes its retained position, so
+	// the exactly-once contract within one server's lifetime holds.
+	ResumeStreams bool
 }
 
 // Router owns the tenant↔shard mapping over a dynamic ShardedMonitor:
@@ -158,6 +165,11 @@ func (r *Router) Submit(m FrameMsg) Verdict {
 		}
 		if t == nil {
 			t = &tenant{id: m.Tenant, slot: -1}
+			if r.cfg.ResumeStreams {
+				// A failed-over client arrives mid-stream; its first frame's
+				// sequence number becomes this tenant's stream position.
+				t.nextSeq = m.Seq
+			}
 			if r.cfg.NewTracer != nil {
 				t.tracer = r.cfg.NewTracer(m.Tenant)
 			}

@@ -1,0 +1,58 @@
+package replica
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadStream throws arbitrary byte streams at the framing layer:
+// ReadMsg must never panic and never allocate beyond the payload cap,
+// and any State it accepts must survive a re-encode round trip.
+func FuzzReadStream(f *testing.F) {
+	f.Add(EncodeHello(Hello{Epoch: 1, Gen: 2}))
+	f.Add(EncodeState(MsgFull, State{Epoch: 1, Seq: 1, Gen: 1, Payload: []byte("full envelope")}))
+	f.Add(EncodeState(MsgDelta, State{Epoch: 2, Seq: 5, Gen: 9, BaseGen: 8, Payload: []byte("delta envelope")}))
+	f.Add(EncodeApplied(Applied{Gen: 9}))
+	f.Add(EncodeFenced(Fenced{Epoch: 3}))
+	two := append(EncodeApplied(Applied{Gen: 1}), EncodeFenced(Fenced{Epoch: 2})...)
+	f.Add(two)
+	f.Add(two[:HeaderSize+3])
+	f.Add([]byte("VDRP"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		r := bytes.NewReader(stream)
+		for i := 0; i < 64; i++ { // bounded: a stream can hold many messages
+			msgType, payload, err := ReadMsg(r)
+			if err != nil {
+				return
+			}
+			switch msgType {
+			case MsgHello:
+				if h, err := DecodeHello(payload); err == nil {
+					if _, _, err := DecodeMsg(EncodeHello(h)); err != nil {
+						t.Fatalf("hello re-encode: %v", err)
+					}
+				}
+			case MsgFull, MsgDelta:
+				st, err := DecodeState(payload)
+				if err != nil {
+					continue
+				}
+				wire := EncodeState(msgType, st)
+				msgType2, payload2, err := DecodeMsg(wire)
+				if err != nil || msgType2 != msgType {
+					t.Fatalf("state re-encode: type %d, %v", msgType2, err)
+				}
+				st2, err := DecodeState(payload2)
+				if err != nil || st2.Gen != st.Gen || st2.Seq != st.Seq || !bytes.Equal(st2.Payload, st.Payload) {
+					t.Fatalf("state re-encode changed the message: %v", err)
+				}
+			case MsgApplied:
+				_, _ = DecodeApplied(payload)
+			case MsgFenced:
+				_, _ = DecodeFenced(payload)
+			}
+		}
+	})
+}

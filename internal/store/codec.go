@@ -44,8 +44,13 @@ import (
 // Version is the current checkpoint format version.
 const Version uint16 = 1
 
-// kindCheckpoint is the only payload kind so far.
-const kindCheckpoint uint16 = 1
+// Payload kinds carried by the envelope: full checkpoints and delta
+// checkpoints (the compact diff replication streams between
+// generations).
+const (
+	kindCheckpoint uint16 = 1
+	kindDelta      uint16 = 2
+)
 
 var magic = [4]byte{'V', 'D', 'C', 'K'}
 
@@ -82,13 +87,23 @@ func (e *VersionError) Error() string {
 // restored as one shared object, exactly as NewShardedMonitor wires
 // them.
 //
-//driftlint:snapshot encode=Encode decode=Decode
+//driftlint:snapshot encode=Encode,EncodeWithCRCs decode=Decode,DecodeWithCRCs
 type Checkpoint struct {
 	// CreatedUnixNano stamps when the snapshot was captured.
 	CreatedUnixNano int64
 	// Frames is the caller's stream-level frame counter (driftserve's
 	// total across shards); informational.
 	Frames int64
+	// Gen is the replication generation this snapshot represents; 0 for
+	// checkpoints written outside a replication stream. Deltas chain off
+	// it (Delta.BaseGen == base.Gen).
+	Gen uint64
+	// Epoch is the fencing epoch of the primary that produced the
+	// snapshot; 0 when the process never replicated. A promoted standby
+	// resumes with a strictly higher epoch, which is what fences a
+	// stale primary's stream (see internal/replica). Gob decodes absent
+	// fields to zero, so pre-replication checkpoints still load.
+	Epoch uint64
 	// Entries is the deduplicated model table.
 	Entries []*core.ModelEntry
 	// Shards holds one runtime state per stream shard (a plain Monitor
@@ -133,10 +148,12 @@ type entryRecord struct {
 // nested gob blobs with individual checksums so integrity is reportable
 // per model.
 //
-//driftlint:snapshot encode=Encode decode=decodeRecord,Decode
+//driftlint:snapshot encode=Encode,EncodeWithCRCs decode=decodeRecord,Decode,DecodeWithCRCs
 type checkpointRecord struct {
 	CreatedUnixNano int64
 	Frames          int64
+	Gen             uint64
+	Epoch           uint64
 	Entries         [][]byte
 	EntryCRCs       []uint32
 	Shards          []ShardState
@@ -243,9 +260,20 @@ func buildEntry(rec *entryRecord) (*core.ModelEntry, error) {
 // Encode serializes a checkpoint into the versioned, checksummed
 // envelope.
 func Encode(cp *Checkpoint) ([]byte, error) {
+	data, _, err := EncodeWithCRCs(cp)
+	return data, err
+}
+
+// EncodeWithCRCs is Encode, additionally returning the per-entry blob
+// CRCs. Replication primaries keep them so the next DiffCheckpoints
+// call can verify the shared entry prefix without re-encoding every
+// model.
+func EncodeWithCRCs(cp *Checkpoint) ([]byte, []uint32, error) {
 	rec := checkpointRecord{
 		CreatedUnixNano: cp.CreatedUnixNano,
 		Frames:          cp.Frames,
+		Gen:             cp.Gen,
+		Epoch:           cp.Epoch,
 		Entries:         make([][]byte, len(cp.Entries)),
 		EntryCRCs:       make([]uint32, len(cp.Entries)),
 		Shards:          cp.Shards,
@@ -253,7 +281,7 @@ func Encode(cp *Checkpoint) ([]byte, error) {
 	for i, e := range cp.Entries {
 		blob, err := encodeEntry(e)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		rec.Entries[i] = blob
 		rec.EntryCRCs[i] = crc32.ChecksumIEEE(blob)
@@ -261,27 +289,33 @@ func Encode(cp *Checkpoint) ([]byte, error) {
 	for si, sh := range cp.Shards {
 		for _, ref := range sh.Registry {
 			if ref < 0 || ref >= len(cp.Entries) {
-				return nil, fmt.Errorf("store: shard %d references entry %d of %d", si, ref, len(cp.Entries))
+				return nil, nil, fmt.Errorf("store: shard %d references entry %d of %d", si, ref, len(cp.Entries))
 			}
 		}
 	}
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(rec); err != nil {
-		return nil, fmt.Errorf("store: encode checkpoint: %w", err)
+		return nil, nil, fmt.Errorf("store: encode checkpoint: %w", err)
 	}
-	out := make([]byte, headerSize+payload.Len())
+	return sealEnvelope(kindCheckpoint, payload.Bytes()), rec.EntryCRCs, nil
+}
+
+// sealEnvelope wraps a gob payload in the versioned, checksummed
+// header.
+func sealEnvelope(kind uint16, payload []byte) []byte {
+	out := make([]byte, headerSize+len(payload))
 	copy(out[0:4], magic[:])
 	binary.LittleEndian.PutUint16(out[4:6], Version)
-	binary.LittleEndian.PutUint16(out[6:8], kindCheckpoint)
-	binary.LittleEndian.PutUint64(out[8:16], uint64(payload.Len()))
-	binary.LittleEndian.PutUint32(out[16:20], crc32.ChecksumIEEE(payload.Bytes()))
-	copy(out[headerSize:], payload.Bytes())
-	return out, nil
+	binary.LittleEndian.PutUint16(out[6:8], kind)
+	binary.LittleEndian.PutUint64(out[8:16], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(out[16:20], crc32.ChecksumIEEE(payload))
+	copy(out[headerSize:], payload)
+	return out
 }
 
 // decodeEnvelope validates the header and checksum and returns the
 // payload bytes. It never panics on malformed input.
-func decodeEnvelope(data []byte) ([]byte, error) {
+func decodeEnvelope(data []byte, wantKind uint16) ([]byte, error) {
 	if len(data) < headerSize {
 		return nil, ErrTruncated
 	}
@@ -291,8 +325,8 @@ func decodeEnvelope(data []byte) ([]byte, error) {
 	if v := binary.LittleEndian.Uint16(data[4:6]); v != Version {
 		return nil, &VersionError{Got: v, Want: Version}
 	}
-	if k := binary.LittleEndian.Uint16(data[6:8]); k != kindCheckpoint {
-		return nil, fmt.Errorf("store: unknown payload kind %d", k)
+	if k := binary.LittleEndian.Uint16(data[6:8]); k != wantKind {
+		return nil, fmt.Errorf("store: payload kind %d, want %d", k, wantKind)
 	}
 	n := binary.LittleEndian.Uint64(data[8:16])
 	if n != uint64(len(data)-headerSize) {
@@ -335,28 +369,40 @@ func decodeRecord(payload []byte) (*checkpointRecord, error) {
 // Decode parses and fully reconstructs a checkpoint from envelope
 // bytes, returning typed errors (never panicking) on malformed input.
 func Decode(data []byte) (*Checkpoint, error) {
-	payload, err := decodeEnvelope(data)
+	cp, _, err := DecodeWithCRCs(data)
+	return cp, err
+}
+
+// DecodeWithCRCs is Decode, additionally returning the per-entry blob
+// CRCs as recorded in the envelope. A replication standby keeps them
+// alongside the checkpoint so later deltas can verify their base
+// digest against the exact bytes the primary sent, never against a
+// re-encode.
+func DecodeWithCRCs(data []byte) (*Checkpoint, []uint32, error) {
+	payload, err := decodeEnvelope(data, kindCheckpoint)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rec, err := decodeRecord(payload)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	cp := &Checkpoint{
 		CreatedUnixNano: rec.CreatedUnixNano,
 		Frames:          rec.Frames,
+		Gen:             rec.Gen,
+		Epoch:           rec.Epoch,
 		Entries:         make([]*core.ModelEntry, len(rec.Entries)),
 		Shards:          rec.Shards,
 	}
 	for i, blob := range rec.Entries {
 		er, err := decodeEntryRecord(blob)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if cp.Entries[i], err = buildEntry(er); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return cp, nil
+	return cp, rec.EntryCRCs, nil
 }

@@ -1,0 +1,246 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"videodrift/internal/core"
+)
+
+// ErrDeltaBase reports a delta that does not chain off the checkpoint
+// it was applied to: the base generation, entry count or entry digest
+// disagrees. Replication standbys treat it as a desync and resync from
+// a full snapshot; LoadLatestChain treats it as the end of the
+// appliable chain.
+var ErrDeltaBase = errors.New("store: delta base mismatch")
+
+// Delta is the compact diff between two consecutive checkpoint
+// generations. Model entries are immutable once provisioned, so the
+// diff carries only the entry blobs appended since the base — plus the
+// full per-shard runtime state, which is kilobytes (martingale, RNG
+// positions, selection buffers) against the megabytes of VAE and
+// ensemble weights a full snapshot ships. Because the shard state is
+// complete, applying a delta onto any base whose entry table matches
+// BaseDigest reproduces the target generation exactly; generation
+// numbers order the stream and measure lag, the digest is the
+// correctness check.
+//
+//driftlint:snapshot encode=EncodeDelta,DiffCheckpoints decode=DecodeDelta,ApplyDelta
+type Delta struct {
+	// BaseGen is the generation this delta applies on; Gen is the
+	// generation the application produces.
+	BaseGen, Gen uint64
+	// Epoch is the producing primary's fencing epoch.
+	Epoch uint64
+	// CreatedUnixNano and Frames mirror the target checkpoint's stamps.
+	CreatedUnixNano int64
+	Frames          int64
+	// BaseEntries is the length of the base's entry table; BaseDigest is
+	// a CRC-32 over the base's per-entry CRCs (little-endian
+	// concatenation). Together they pin the exact bytes the delta
+	// extends.
+	BaseEntries int
+	BaseDigest  uint32
+	// NewEntries are the encoded model blobs appended since the base,
+	// each with its own CRC.
+	NewEntries [][]byte
+	NewCRCs    []uint32
+	// Shards is the complete per-shard runtime state at Gen.
+	Shards []ShardState
+}
+
+// digestCRCs collapses a per-entry CRC list into the single base
+// digest a delta carries.
+func digestCRCs(crcs []uint32) uint32 {
+	buf := make([]byte, 4*len(crcs))
+	for i, c := range crcs {
+		binary.LittleEndian.PutUint32(buf[4*i:], c)
+	}
+	return crc32.ChecksumIEEE(buf)
+}
+
+// EntryCRCs encodes each entry of cp and returns the per-entry CRCs —
+// what DiffCheckpoints and ApplyDelta accept as the base fingerprint.
+// Callers that encoded or decoded the checkpoint through
+// EncodeWithCRCs/DecodeWithCRCs already hold them and skip this.
+func EntryCRCs(cp *Checkpoint) ([]uint32, error) {
+	crcs := make([]uint32, len(cp.Entries))
+	for i, e := range cp.Entries {
+		blob, err := encodeEntry(e)
+		if err != nil {
+			return nil, err
+		}
+		crcs[i] = crc32.ChecksumIEEE(blob)
+	}
+	return crcs, nil
+}
+
+// DiffCheckpoints builds the delta that turns base into next, and
+// returns next's per-entry CRCs for the following diff. baseCRCs must
+// be base's entry fingerprint (from EncodeWithCRCs, DecodeWithCRCs,
+// EntryCRCs, or a previous Diff). It returns ErrDeltaBase when next
+// does not extend base — a shrunken or rewritten entry table — in
+// which case the caller falls back to a full snapshot.
+func DiffCheckpoints(base *Checkpoint, baseCRCs []uint32, next *Checkpoint) (*Delta, []uint32, error) {
+	if len(baseCRCs) != len(base.Entries) {
+		return nil, nil, fmt.Errorf("store: %d base CRCs for %d entries", len(baseCRCs), len(base.Entries))
+	}
+	if len(next.Entries) < len(base.Entries) {
+		return nil, nil, fmt.Errorf("%w: entry table shrank from %d to %d", ErrDeltaBase, len(base.Entries), len(next.Entries))
+	}
+	nextCRCs := make([]uint32, len(next.Entries))
+	d := &Delta{
+		BaseGen:         base.Gen,
+		Gen:             next.Gen,
+		Epoch:           next.Epoch,
+		CreatedUnixNano: next.CreatedUnixNano,
+		Frames:          next.Frames,
+		BaseEntries:     len(base.Entries),
+		BaseDigest:      digestCRCs(baseCRCs),
+		Shards:          next.Shards,
+	}
+	for i, e := range next.Entries {
+		if i < len(base.Entries) {
+			// The shared prefix: entries are immutable and shared by
+			// pointer across captures, so pointer equality proves the
+			// blob is unchanged without re-encoding megabytes of model.
+			if e == base.Entries[i] {
+				nextCRCs[i] = baseCRCs[i]
+				continue
+			}
+			blob, err := encodeEntry(e)
+			if err != nil {
+				return nil, nil, err
+			}
+			nextCRCs[i] = crc32.ChecksumIEEE(blob)
+			if nextCRCs[i] != baseCRCs[i] {
+				return nil, nil, fmt.Errorf("%w: entry %d rewritten", ErrDeltaBase, i)
+			}
+			continue
+		}
+		blob, err := encodeEntry(e)
+		if err != nil {
+			return nil, nil, err
+		}
+		nextCRCs[i] = crc32.ChecksumIEEE(blob)
+		d.NewEntries = append(d.NewEntries, blob)
+		d.NewCRCs = append(d.NewCRCs, nextCRCs[i])
+	}
+	for si, sh := range next.Shards {
+		for _, ref := range sh.Registry {
+			if ref < 0 || ref >= len(next.Entries) {
+				return nil, nil, fmt.Errorf("store: shard %d references entry %d of %d", si, ref, len(next.Entries))
+			}
+		}
+	}
+	return d, nextCRCs, nil
+}
+
+// ApplyDelta verifies d against base and produces the target
+// checkpoint plus its per-entry CRCs. baseCRCs may be nil, in which
+// case the fingerprint is recomputed via EntryCRCs (a re-encode —
+// replication paths pass the CRCs they already hold instead). It
+// returns ErrDeltaBase when the delta does not chain off base.
+func ApplyDelta(base *Checkpoint, baseCRCs []uint32, d *Delta) (*Checkpoint, []uint32, error) {
+	if baseCRCs == nil {
+		var err error
+		if baseCRCs, err = EntryCRCs(base); err != nil {
+			return nil, nil, err
+		}
+	}
+	if d.BaseGen != base.Gen {
+		return nil, nil, fmt.Errorf("%w: delta chains off generation %d, base is %d", ErrDeltaBase, d.BaseGen, base.Gen)
+	}
+	if d.BaseEntries != len(base.Entries) {
+		return nil, nil, fmt.Errorf("%w: delta expects %d base entries, base has %d", ErrDeltaBase, d.BaseEntries, len(base.Entries))
+	}
+	if got := digestCRCs(baseCRCs); got != d.BaseDigest {
+		return nil, nil, fmt.Errorf("%w: base digest %08x, delta expects %08x", ErrDeltaBase, got, d.BaseDigest)
+	}
+	next := &Checkpoint{
+		CreatedUnixNano: d.CreatedUnixNano,
+		Frames:          d.Frames,
+		Gen:             d.Gen,
+		Epoch:           d.Epoch,
+		Entries:         make([]*core.ModelEntry, 0, len(base.Entries)+len(d.NewEntries)),
+		Shards:          d.Shards,
+	}
+	next.Entries = append(next.Entries, base.Entries...)
+	nextCRCs := make([]uint32, 0, len(baseCRCs)+len(d.NewCRCs))
+	nextCRCs = append(nextCRCs, baseCRCs...)
+	for i, blob := range d.NewEntries {
+		er, err := decodeEntryRecord(blob)
+		if err != nil {
+			return nil, nil, err
+		}
+		e, err := buildEntry(er)
+		if err != nil {
+			return nil, nil, err
+		}
+		next.Entries = append(next.Entries, e)
+		nextCRCs = append(nextCRCs, d.NewCRCs[i])
+	}
+	return next, nextCRCs, nil
+}
+
+// EncodeDelta serializes a delta into the shared versioned, checksummed
+// envelope under the delta payload kind.
+func EncodeDelta(d *Delta) ([]byte, error) {
+	if len(d.NewCRCs) != len(d.NewEntries) {
+		return nil, fmt.Errorf("store: delta has %d entry checksums for %d entries", len(d.NewCRCs), len(d.NewEntries))
+	}
+	refs := d.BaseEntries + len(d.NewEntries)
+	for si, sh := range d.Shards {
+		for _, ref := range sh.Registry {
+			if ref < 0 || ref >= refs {
+				return nil, fmt.Errorf("store: delta shard %d references entry %d of %d", si, ref, refs)
+			}
+		}
+	}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(d); err != nil {
+		return nil, fmt.Errorf("store: encode delta: %w", err)
+	}
+	return sealEnvelope(kindDelta, payload.Bytes()), nil
+}
+
+// DecodeDelta parses and validates a delta from envelope bytes,
+// returning typed errors (never panicking) on malformed input. The
+// base digest is checked later, at ApplyDelta time.
+func DecodeDelta(data []byte) (*Delta, error) {
+	payload, err := decodeEnvelope(data, kindDelta)
+	if err != nil {
+		return nil, err
+	}
+	var d Delta
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&d); err != nil {
+		return nil, fmt.Errorf("store: decode delta: %w", err)
+	}
+	if d.BaseEntries < 0 {
+		return nil, fmt.Errorf("store: delta claims %d base entries", d.BaseEntries)
+	}
+	if len(d.NewCRCs) != len(d.NewEntries) {
+		return nil, fmt.Errorf("store: delta has %d entry checksums for %d entries", len(d.NewCRCs), len(d.NewEntries))
+	}
+	for i, blob := range d.NewEntries {
+		if crc32.ChecksumIEEE(blob) != d.NewCRCs[i] {
+			return nil, fmt.Errorf("%w (delta entry %d)", ErrChecksum, i)
+		}
+	}
+	refs := d.BaseEntries + len(d.NewEntries)
+	for si, sh := range d.Shards {
+		for _, ref := range sh.Registry {
+			if ref < 0 || ref >= refs {
+				return nil, fmt.Errorf("store: delta shard %d references entry %d of %d", si, ref, refs)
+			}
+		}
+		if cur := sh.Pipeline.Current; cur < 0 || cur >= len(sh.Registry) {
+			return nil, fmt.Errorf("store: delta shard %d deploys registry slot %d of %d", si, cur, len(sh.Registry))
+		}
+	}
+	return &d, nil
+}

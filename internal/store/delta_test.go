@@ -1,0 +1,379 @@
+package store
+
+import (
+	"errors"
+	"testing"
+
+	"videodrift/internal/core"
+	"videodrift/internal/vidsim"
+)
+
+// nextGeneration evolves a checkpoint into its successor the way a
+// live fleet does: the entry table is extended (never rewritten, the
+// pointers are shared) and the runtime shard state is replaced.
+func nextGeneration(t testing.TB, base *Checkpoint, addEntry bool) *Checkpoint {
+	t.Helper()
+	next := &Checkpoint{
+		CreatedUnixNano: base.CreatedUnixNano + 1,
+		Frames:          base.Frames + 50,
+		Gen:             base.Gen + 1,
+		Epoch:           base.Epoch,
+		Entries:         base.Entries,
+		Shards:          base.Shards,
+	}
+	if addEntry {
+		day, _ := getFixtures(t)
+		reg := core.NewRegistry(day)
+		cfg := core.DefaultPipelineConfig(testDim, classes)
+		cfg.Provision = quickProvision(31)
+		pipe := core.NewPipeline(reg, testLabeler, cfg)
+		for _, f := range vidsim.GenerateTraining(testCond(vidsim.Day()), testW, testH, 30, 9) {
+			pipe.Process(f)
+		}
+		next.Entries = append(append([]*core.ModelEntry(nil), base.Entries...), day)
+		next.Shards = []ShardState{
+			{Registry: []int{0, 2}, Pipeline: pipe.Snapshot()},
+			base.Shards[1],
+		}
+	}
+	return next
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	base := testCheckpoint(t)
+	base.Gen, base.Epoch = 1, 1
+	full, baseCRCs, err := EncodeWithCRCs(base)
+	if err != nil {
+		t.Fatalf("encode base: %v", err)
+	}
+
+	// Generation 2: runtime-only change — the steady state.
+	next := nextGeneration(t, base, false)
+	d, nextCRCs, err := DiffCheckpoints(base, baseCRCs, next)
+	if err != nil {
+		t.Fatalf("diff: %v", err)
+	}
+	if len(d.NewEntries) != 0 {
+		t.Fatalf("steady-state delta carries %d entry blobs", len(d.NewEntries))
+	}
+	deltaBytes, err := EncodeDelta(d)
+	if err != nil {
+		t.Fatalf("encode delta: %v", err)
+	}
+	// The acceptance bar: a steady-state delta is at most a quarter of a
+	// full snapshot (in practice far less — no model blobs at all).
+	if 4*len(deltaBytes) > len(full) {
+		t.Fatalf("steady-state delta is %d bytes, full snapshot %d: exceeds 25%%", len(deltaBytes), len(full))
+	}
+	t.Logf("full %d bytes, steady-state delta %d bytes (%.1f%%)", len(full), len(deltaBytes), 100*float64(len(deltaBytes))/float64(len(full)))
+
+	got, err := DecodeDelta(deltaBytes)
+	if err != nil {
+		t.Fatalf("decode delta: %v", err)
+	}
+	applied, appliedCRCs, err := ApplyDelta(base, baseCRCs, got)
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if applied.Gen != 2 || applied.Frames != next.Frames || len(applied.Entries) != len(base.Entries) {
+		t.Fatalf("applied gen %d frames %d entries %d", applied.Gen, applied.Frames, len(applied.Entries))
+	}
+	if digestCRCs(appliedCRCs) != digestCRCs(nextCRCs) {
+		t.Fatal("applied fingerprint disagrees with the diff's")
+	}
+
+	// Generation 3: a provisioned model rides inside the delta.
+	next2 := nextGeneration(t, applied, true)
+	d2, crcs2, err := DiffCheckpoints(applied, appliedCRCs, next2)
+	if err != nil {
+		t.Fatalf("diff with new entry: %v", err)
+	}
+	if len(d2.NewEntries) != 1 {
+		t.Fatalf("delta carries %d new entries, want 1", len(d2.NewEntries))
+	}
+	wire, err := EncodeDelta(d2)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	d2got, err := DecodeDelta(wire)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	applied2, applied2CRCs, err := ApplyDelta(applied, appliedCRCs, d2got)
+	if err != nil {
+		t.Fatalf("apply with new entry: %v", err)
+	}
+	if len(applied2.Entries) != 3 || applied2.Entries[2].Name != "day" {
+		t.Fatalf("applied entries %d, want the new model appended", len(applied2.Entries))
+	}
+	if digestCRCs(applied2CRCs) != digestCRCs(crcs2) {
+		t.Fatal("fingerprint diverged after an entry-carrying delta")
+	}
+	// ApplyDelta with a nil fingerprint recomputes it and agrees.
+	applied2b, recomputed, err := ApplyDelta(applied, nil, d2got)
+	if err != nil {
+		t.Fatalf("apply with recomputed CRCs: %v", err)
+	}
+	if digestCRCs(recomputed) != digestCRCs(applied2CRCs) || len(applied2b.Entries) != 3 {
+		t.Fatal("recomputed fingerprint disagrees with the streamed one")
+	}
+}
+
+func TestDiffRejectsNonExtension(t *testing.T) {
+	base := testCheckpoint(t)
+	base.Gen = 1
+	_, baseCRCs, err := EncodeWithCRCs(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shrunk := nextGeneration(t, base, false)
+	shrunk.Entries = base.Entries[:1]
+	shrunk.Shards = []ShardState{{Registry: []int{0}, Pipeline: base.Shards[1].Pipeline}}
+	if _, _, err := DiffCheckpoints(base, baseCRCs, shrunk); !errors.Is(err, ErrDeltaBase) {
+		t.Fatalf("shrunken table: %v, want ErrDeltaBase", err)
+	}
+
+	rewritten := nextGeneration(t, base, false)
+	_, night := getFixtures(t)
+	rewritten.Entries = []*core.ModelEntry{night, base.Entries[1]}
+	if _, _, err := DiffCheckpoints(base, baseCRCs, rewritten); !errors.Is(err, ErrDeltaBase) {
+		t.Fatalf("rewritten prefix: %v, want ErrDeltaBase", err)
+	}
+
+	if _, _, err := DiffCheckpoints(base, baseCRCs[:1], nextGeneration(t, base, false)); err == nil {
+		t.Fatal("mismatched fingerprint length accepted")
+	}
+}
+
+func TestApplyRejectsWrongBase(t *testing.T) {
+	base := testCheckpoint(t)
+	base.Gen = 1
+	_, baseCRCs, err := EncodeWithCRCs(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, err := DiffCheckpoints(base, baseCRCs, nextGeneration(t, base, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wrongGen := *d
+	wrongGen.BaseGen = 7
+	if _, _, err := ApplyDelta(base, baseCRCs, &wrongGen); !errors.Is(err, ErrDeltaBase) {
+		t.Fatalf("wrong base gen: %v, want ErrDeltaBase", err)
+	}
+	wrongCount := *d
+	wrongCount.BaseEntries = 1
+	if _, _, err := ApplyDelta(base, baseCRCs, &wrongCount); !errors.Is(err, ErrDeltaBase) {
+		t.Fatalf("wrong entry count: %v, want ErrDeltaBase", err)
+	}
+	wrongDigest := *d
+	wrongDigest.BaseDigest ^= 0xffffffff
+	if _, _, err := ApplyDelta(base, baseCRCs, &wrongDigest); !errors.Is(err, ErrDeltaBase) {
+		t.Fatalf("wrong digest: %v, want ErrDeltaBase", err)
+	}
+}
+
+func TestDecodeDeltaRejectsDamage(t *testing.T) {
+	base := testCheckpoint(t)
+	base.Gen = 1
+	_, baseCRCs, err := EncodeWithCRCs(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, err := DiffCheckpoints(base, baseCRCs, nextGeneration(t, base, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := EncodeDelta(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flipped := append([]byte(nil), wire...)
+	flipped[len(flipped)/2] ^= 0x10
+	if _, err := DecodeDelta(flipped); err == nil {
+		t.Fatal("corrupted delta decoded")
+	}
+	if _, err := DecodeDelta(wire[:headerSize+10]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated delta: %v, want ErrTruncated", err)
+	}
+
+	// Kind confusion: a delta envelope is not a checkpoint and vice
+	// versa — the envelope kind field keeps the decoders honest.
+	if _, err := Decode(wire); err == nil {
+		t.Fatal("Decode accepted a delta envelope")
+	}
+	full, _, err := EncodeWithCRCs(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeDelta(full); err == nil {
+		t.Fatal("DecodeDelta accepted a checkpoint envelope")
+	}
+}
+
+func TestLoadLatestChain(t *testing.T) {
+	fs := NewMemFS()
+	st, err := OpenFS("/ckpt", fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := tinyCheckpoint(t, 100)
+	base.Gen, base.Epoch = 1, 1
+	if _, err := st.Save(base); err != nil {
+		t.Fatal(err)
+	}
+	crcs, err := EntryCRCs(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three chained deltas: gen 2, 3, 4.
+	cp := base
+	for g := 0; g < 3; g++ {
+		next := tinyCheckpoint(t, cp.Frames+100)
+		next.Gen, next.Epoch = cp.Gen+1, 1
+		next.Entries = cp.Entries
+		d, nextCRCs, err := DiffCheckpoints(cp, crcs, next)
+		if err != nil {
+			t.Fatalf("diff gen %d: %v", next.Gen, err)
+		}
+		if _, err := st.SaveDelta(d); err != nil {
+			t.Fatalf("save delta gen %d: %v", next.Gen, err)
+		}
+		cp, crcs = next, nextCRCs
+	}
+
+	got, _, applied, err := st.LoadLatestChain()
+	if err != nil {
+		t.Fatalf("load chain: %v", err)
+	}
+	if applied != 3 || got.Gen != 4 || got.Frames != 400 {
+		t.Fatalf("chain: applied %d, gen %d, frames %d; want 3, 4, 400", applied, got.Gen, got.Frames)
+	}
+
+	// Damage the middle delta: the chain stops before it.
+	paths, err := st.DeltaPaths()
+	if err != nil || len(paths) != 3 {
+		t.Fatalf("delta paths: %v, %v", paths, err)
+	}
+	data, err := fs.ReadFile(paths[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	f, err := fs.CreateTemp("/ckpt", "damage-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(f.Name(), paths[1]); err != nil {
+		t.Fatal(err)
+	}
+	got, _, applied, err = st.LoadLatestChain()
+	if err != nil {
+		t.Fatalf("load chain with damaged middle: %v", err)
+	}
+	if applied != 1 || got.Gen != 2 {
+		t.Fatalf("damaged middle: applied %d, gen %d; want 1, 2", applied, got.Gen)
+	}
+
+	// Remove it entirely: a generation gap also ends the chain.
+	if err := fs.Remove(paths[1]); err != nil {
+		t.Fatal(err)
+	}
+	got, _, applied, err = st.LoadLatestChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 1 || got.Gen != 2 {
+		t.Fatalf("gapped chain: applied %d, gen %d; want 1, 2", applied, got.Gen)
+	}
+
+	// A newer full checkpoint supersedes the deltas at or below its
+	// generation.
+	cp4 := tinyCheckpoint(t, 1000)
+	cp4.Gen, cp4.Epoch = 4, 1
+	if _, err := st.Save(cp4); err != nil {
+		t.Fatal(err)
+	}
+	got, _, applied, err = st.LoadLatestChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 0 || got.Gen != 4 || got.Frames != 1000 {
+		t.Fatalf("superseding full: applied %d, gen %d, frames %d; want 0, 4, 1000", applied, got.Gen, got.Frames)
+	}
+}
+
+// TestDeltaCrashPointRecovery kills a delta write at every byte offset
+// (plus fsync and rename) and asserts the chain invariant: the failed
+// SaveDelta surfaces an error, LoadLatestChain still reproduces the
+// last intact generation, and the retried save completes the chain.
+func TestDeltaCrashPointRecovery(t *testing.T) {
+	base := tinyCheckpoint(t, 100)
+	base.Gen, base.Epoch = 1, 1
+	baseCRCs, err := EntryCRCs(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := tinyCheckpoint(t, 200)
+	next.Gen, next.Epoch = 2, 1
+	next.Entries = base.Entries
+	d, _, err := DiffCheckpoints(base, baseCRCs, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encoded, err := EncodeDelta(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sweeping %d byte offsets", len(encoded))
+
+	crash := func(t *testing.T, mode string, offset int) {
+		t.Helper()
+		cfs := &crashFS{FS: NewMemFS(), mode: mode, bytes: offset}
+		st, err := OpenFS("/ckpt", cfs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.Save(base); err != nil {
+			t.Fatalf("seed save: %v", err)
+		}
+		cfs.armed = true
+		if _, err := st.SaveDelta(d); !errors.Is(err, errInjectedCrash) {
+			t.Fatalf("crashed delta save returned %v, want injected crash", err)
+		}
+		cp, _, applied, err := st.LoadLatestChain()
+		if err != nil {
+			t.Fatalf("LoadLatestChain after crash: %v", err)
+		}
+		if applied != 0 || cp.Frames != base.Frames {
+			t.Fatalf("recovered applied=%d frames=%d, want the base generation", applied, cp.Frames)
+		}
+		// The store is not wedged: the retried delta lands and chains.
+		if _, err := st.SaveDelta(d); err != nil {
+			t.Fatalf("retry delta save: %v", err)
+		}
+		cp, _, applied, err = st.LoadLatestChain()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if applied != 1 || cp.Frames != next.Frames {
+			t.Fatalf("after retry applied=%d frames=%d, want 1, %d", applied, cp.Frames, next.Frames)
+		}
+	}
+
+	for offset := 0; offset < len(encoded); offset++ {
+		crash(t, "write", offset)
+	}
+	crash(t, "sync", 0)
+	crash(t, "rename", 0)
+}

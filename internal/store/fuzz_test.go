@@ -30,3 +30,59 @@ func FuzzDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeDelta is FuzzDecode's delta sibling: arbitrary bytes in,
+// a delta or a typed error out, never a panic — and anything accepted
+// must satisfy the structural invariants ApplyDelta relies on.
+func FuzzDecodeDelta(f *testing.F) {
+	base := testCheckpoint(f)
+	base.Gen = 1
+	crcs, err := EntryCRCs(base)
+	if err != nil {
+		f.Fatalf("fingerprinting seed checkpoint: %v", err)
+	}
+	next := &Checkpoint{
+		CreatedUnixNano: base.CreatedUnixNano + 1,
+		Frames:          base.Frames + 50,
+		Gen:             2,
+		Entries:         base.Entries,
+		Shards:          base.Shards,
+	}
+	d, _, err := DiffCheckpoints(base, crcs, next)
+	if err != nil {
+		f.Fatalf("diffing seed generations: %v", err)
+	}
+	valid, err := EncodeDelta(d)
+	if err != nil {
+		f.Fatalf("encoding seed delta: %v", err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("VDCK"))
+	f.Add(valid[:headerSize])
+	f.Add(valid[:len(valid)-7])
+	full, _ := Encode(base)
+	f.Add(full) // wrong envelope kind
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeDelta(data)
+		if err != nil {
+			return
+		}
+		if got == nil {
+			t.Fatal("DecodeDelta returned nil delta with nil error")
+		}
+		if got.BaseEntries < 0 || len(got.NewCRCs) != len(got.NewEntries) {
+			t.Fatalf("accepted inconsistent delta: base=%d crcs=%d entries=%d",
+				got.BaseEntries, len(got.NewCRCs), len(got.NewEntries))
+		}
+		refs := got.BaseEntries + len(got.NewEntries)
+		for si, sh := range got.Shards {
+			for _, ref := range sh.Registry {
+				if ref < 0 || ref >= refs {
+					t.Fatalf("accepted shard %d with dangling entry ref %d of %d", si, ref, refs)
+				}
+			}
+		}
+	})
+}

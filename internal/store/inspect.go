@@ -72,7 +72,7 @@ func Inspect(path string) (*Description, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	payload, err := decodeEnvelope(data)
+	payload, err := decodeEnvelope(data, kindCheckpoint)
 	if err != nil {
 		return nil, err
 	}

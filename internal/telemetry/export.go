@@ -53,6 +53,14 @@ type Snapshot struct {
 	CheckpointFailures uint64 `json:"checkpoint_failures,omitempty"`
 	Health             Health `json:"health"`
 
+	// Replication counters and lag: generations shipped by a primary,
+	// generations applied by a standby, promotions to primary, and the
+	// newest-minus-acknowledged generation gap to the slowest standby.
+	ReplicaDeltasSent    uint64 `json:"replica_deltas_sent,omitempty"`
+	ReplicaDeltasApplied uint64 `json:"replica_deltas_applied,omitempty"`
+	Promotions           uint64 `json:"promotions,omitempty"`
+	ReplicaLagGens       int    `json:"replica_lag_generations,omitempty"`
+
 	// LastCheckpointUnixNano is when the last checkpoint was persisted
 	// (0 when none has been).
 	LastCheckpointUnixNano int64 `json:"last_checkpoint_unix_nano,omitempty"`
@@ -95,6 +103,10 @@ func (t *Tracer) Snapshot() Snapshot {
 		WorkerRestarts:         t.counts[KindWorkerRestarted],
 		TrainingFailures:       t.counts[KindTrainingFailed],
 		CheckpointFailures:     t.counts[KindCheckpointFailed],
+		ReplicaDeltasSent:      t.counts[KindReplicaDeltaSent],
+		ReplicaDeltasApplied:   t.counts[KindReplicaDeltaApplied],
+		Promotions:             t.counts[KindReplicaPromoted],
+		ReplicaLagGens:         t.replicaLag,
 		Health:                 t.health,
 		LastCheckpointUnixNano: t.lastCheckpoint,
 		Martingale:             t.martingale,
@@ -208,6 +220,22 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 			break
 		}
 		p("videodrift_events_total{kind=%q} %d\n", s.EventCounts[k].Kind, s.EventCounts[k].Count)
+	}
+
+	// Replication families are emitted only once the process has
+	// replicated or promoted, so a standalone monitor's exposition is
+	// unchanged.
+	if s.ReplicaDeltasSent+s.ReplicaDeltasApplied+s.Promotions > 0 {
+		p("# HELP videodrift_replica_deltas_total Checkpoint generations replicated (sent by a primary, applied by a standby), by role.\n")
+		p("# TYPE videodrift_replica_deltas_total counter\n")
+		p("videodrift_replica_deltas_total{role=\"primary\"} %d\n", s.ReplicaDeltasSent)
+		p("videodrift_replica_deltas_total{role=\"standby\"} %d\n", s.ReplicaDeltasApplied)
+		p("# HELP videodrift_replica_lag_generations Generations the slowest connected standby trails the primary by.\n")
+		p("# TYPE videodrift_replica_lag_generations gauge\n")
+		p("videodrift_replica_lag_generations %d\n", s.ReplicaLagGens)
+		p("# HELP videodrift_promotions_total Standby-to-primary promotions performed by this process.\n")
+		p("# TYPE videodrift_promotions_total counter\n")
+		p("videodrift_promotions_total %d\n", s.Promotions)
 	}
 
 	p("# HELP videodrift_degraded Degradation state (0 ok, 1 degraded, 2 failed).\n")

@@ -70,6 +70,15 @@ const (
 	// KindHealthChanged is a transition of the degradation state
 	// (ok/degraded/failed).
 	KindHealthChanged
+	// KindReplicaDeltaSent is a replication primary shipping one
+	// checkpoint generation (full or delta) to a standby.
+	KindReplicaDeltaSent
+	// KindReplicaDeltaApplied is a standby applying one streamed
+	// generation into its warm in-memory state.
+	KindReplicaDeltaApplied
+	// KindReplicaPromoted is a standby promoting itself to primary
+	// under a new fencing epoch.
+	KindReplicaPromoted
 
 	kindCount
 )
@@ -88,6 +97,9 @@ var kindNames = [kindCount]string{
 	"training_failed",
 	"checkpoint_failed",
 	"health_changed",
+	"replica_delta_sent",
+	"replica_delta_applied",
+	"replica_promoted",
 }
 
 // String returns the event kind's snake_case name.
@@ -327,6 +339,11 @@ type Event struct {
 	Attempt int    `json:"attempt,omitempty"`
 	Shard   int    `json:"shard,omitempty"`
 	Health  string `json:"health,omitempty"`
+
+	// Replication fields: the checkpoint generation a replica event
+	// carries and the fencing epoch it was streamed or promoted under.
+	Gen   uint64 `json:"gen,omitempty"`
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // Config parameterizes a Tracer. The zero value is usable.
@@ -365,6 +382,8 @@ type Tracer struct {
 	meanP       float64
 
 	lastCheckpoint int64 // unix nanos of the last persisted checkpoint
+
+	replicaLag int // newest generation minus slowest standby's ack
 
 	health Health // current degradation state
 
@@ -602,6 +621,42 @@ func (t *Tracer) HealthChanged(h Health, reason string) {
 		t.health = h
 		t.emit(Event{Kind: KindHealthChanged, Health: h.String(), Reason: reason}, true)
 	}
+	t.mu.Unlock()
+}
+
+// ReplicaDeltaSent records a replication primary shipping generation
+// gen (reason "full" or "delta") of the given encoded size, and
+// refreshes the replication-lag gauge (newest generation minus the
+// slowest connected standby's acknowledged generation).
+func (t *Tracer) ReplicaDeltaSent(gen, epoch uint64, reason string, bytes, lagGens int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.replicaLag = lagGens
+	t.emit(Event{Kind: KindReplicaDeltaSent, Gen: gen, Epoch: epoch, Reason: reason, Bytes: bytes}, true)
+	t.mu.Unlock()
+}
+
+// ReplicaDeltaApplied records a standby applying streamed generation
+// gen (reason "full" or "delta") into its warm in-memory state.
+func (t *Tracer) ReplicaDeltaApplied(gen, epoch uint64, reason string, bytes int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.emit(Event{Kind: KindReplicaDeltaApplied, Gen: gen, Epoch: epoch, Reason: reason, Bytes: bytes}, true)
+	t.mu.Unlock()
+}
+
+// ReplicaPromoted records this process taking over as primary at
+// generation gen under the (freshly bumped) fencing epoch.
+func (t *Tracer) ReplicaPromoted(gen, epoch uint64, reason string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.emit(Event{Kind: KindReplicaPromoted, Gen: gen, Epoch: epoch, Reason: reason}, true)
 	t.mu.Unlock()
 }
 

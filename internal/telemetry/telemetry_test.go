@@ -286,6 +286,9 @@ videodrift_events_total{kind="worker_restarted"} 0
 videodrift_events_total{kind="training_failed"} 0
 videodrift_events_total{kind="checkpoint_failed"} 0
 videodrift_events_total{kind="health_changed"} 0
+videodrift_events_total{kind="replica_delta_sent"} 0
+videodrift_events_total{kind="replica_delta_applied"} 0
+videodrift_events_total{kind="replica_promoted"} 0
 # HELP videodrift_degraded Degradation state (0 ok, 1 degraded, 2 failed).
 # TYPE videodrift_degraded gauge
 videodrift_degraded 0

@@ -1,0 +1,198 @@
+#!/usr/bin/env bash
+# Hot-standby failover soak: builds driftserve, driftfeed and drifttool
+# (race-instrumented servers), starts a replicating primary and a hot
+# standby, streams tenant frames at the pair through driftfeed's
+# failover address list, then kill -9s the primary mid-stream. The
+# standby must detect the dead primary, promote itself on the
+# replicated state, and absorb the rest of the stream: driftfeed exits
+# 0 with every frame acked and at least one recorded failover, and the
+# promoted standby's health reports ingest mode, every tenant attached
+# and zero dropped frames. The primary's checkpoint directory — torn
+# wherever the kill landed — must still pass `drifttool inspect
+# -verify`: atomic saves never leave a damaged generation behind.
+#
+# Usage:  scripts/failover_soak.sh
+#   TENANTS=4 FRAMES=300 scripts/failover_soak.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tenants="${TENANTS:-3}"
+frames="${FRAMES:-200}"
+pri_http="${PRI_HTTP_PORT:-19290}"
+pri_ingest="${PRI_INGEST_PORT:-19291}"
+repl_port="${REPL_PORT:-19292}"
+sby_http="${SBY_HTTP_PORT:-19293}"
+sby_ingest="${SBY_INGEST_PORT:-19294}"
+
+bin=$(mktemp -d)
+prilog="$bin/primary.log"
+sbylog="$bin/standby.log"
+cleanup() {
+	[ -n "${pri_pid:-}" ] && kill -9 "$pri_pid" 2>/dev/null || true
+	[ -n "${sby_pid:-}" ] && kill "$sby_pid" 2>/dev/null || true
+	[ -n "${sby_pid:-}" ] && wait "$sby_pid" 2>/dev/null || true
+	rm -rf "$bin"
+}
+trap cleanup EXIT
+
+echo "failover-soak: building driftserve, driftfeed, drifttool (race-instrumented servers)"
+go build -race -o "$bin/driftserve" ./cmd/driftserve
+go build -o "$bin/driftfeed" ./cmd/driftfeed
+go build -o "$bin/drifttool" ./cmd/drifttool
+
+echo "failover-soak: starting primary (ingest :$pri_ingest, replicating to :$repl_port)"
+"$bin/driftserve" -addr "localhost:$pri_http" -ingest-addr "localhost:$pri_ingest" \
+	-replicate-to "localhost:$repl_port" -replicate-every 100ms \
+	-max-tenants 8 -tenant-queue 64 -batch 8 -scale 0.02 -train 120 >"$prilog" 2>&1 &
+pri_pid=$!
+
+echo "failover-soak: starting standby (replica :$repl_port, probing primary :$pri_http)"
+"$bin/driftserve" -addr "localhost:$sby_http" -ingest-addr "localhost:$sby_ingest" \
+	-standby-of "localhost:$pri_http" -replica-addr "localhost:$repl_port" \
+	-probe-every 200ms -probe-fails 3 \
+	-max-tenants 8 -tenant-queue 64 -batch 8 -scale 0.02 -train 120 >"$sbylog" 2>&1 &
+sby_pid=$!
+
+# Wait for both /healthz endpoints (model provisioning on the primary
+# takes a few seconds; an un-promoted standby answers 200 "mode:
+# standby" as soon as it listens).
+for node in "primary localhost:$pri_http $pri_pid $prilog" "standby localhost:$sby_http $sby_pid $sbylog"; do
+	set -- $node
+	name=$1 hostport=$2 pid=$3 logf=$4
+	for i in $(seq 1 120); do
+		if "$bin/drifttool" health "$hostport" >/dev/null 2>&1; then
+			break
+		fi
+		if ! kill -0 "$pid" 2>/dev/null; then
+			echo "failover-soak: $name died during startup:" >&2
+			cat "$logf" >&2
+			exit 1
+		fi
+		sleep 0.5
+	done
+done
+
+# Let replication establish a base generation before the feed starts.
+sleep 1
+
+echo "failover-soak: feeding $tenants tenants x $frames frames through the failover address list"
+# -fps paces the feed so the kill below lands mid-stream, not after
+# the whole dataset has already been delivered to the primary.
+"$bin/driftfeed" -addr "localhost:$pri_ingest,localhost:$sby_ingest" \
+	-tenants "$tenants" -frames "$frames" -fps 40 -scale 0.02 >"$bin/feed.out" 2>&1 &
+feed_pid=$!
+
+# kill -9 the primary mid-stream: an arbitrary frame offset, decided by
+# wall clock, not a checkpoint boundary.
+sleep 3
+echo "failover-soak: kill -9 primary (pid $pri_pid)"
+kill -9 "$pri_pid" 2>/dev/null || true
+wait "$pri_pid" 2>/dev/null || true
+pri_pid=
+
+# The standby must promote itself and start serving ingest.
+promoted=0
+for i in $(seq 1 100); do
+	if "$bin/drifttool" health "localhost:$sby_http" 2>/dev/null | grep -q "mode: ingest"; then
+		promoted=1
+		break
+	fi
+	sleep 0.2
+done
+if [ "$promoted" -ne 1 ]; then
+	echo "failover-soak: FAIL — standby never promoted:" >&2
+	cat "$sbylog" >&2
+	exit 1
+fi
+echo "failover-soak: standby promoted"
+
+# The feed must finish clean against the promoted standby.
+if ! wait "$feed_pid"; then
+	echo "failover-soak: FAIL — driftfeed lost frames across the failover:" >&2
+	cat "$bin/feed.out" >&2
+	exit 1
+fi
+cat "$bin/feed.out"
+
+fail=0
+if ! grep -Eq "failovers [1-9]" "$bin/feed.out"; then
+	echo "failover-soak: FAIL — no tenant recorded a failover" >&2
+	fail=1
+fi
+
+# Give the promoted pump a moment to drain the tail, then interrogate.
+sleep 1
+health=$("$bin/drifttool" health "localhost:$sby_http")
+printf '%s\n' "$health"
+
+if ! grep -q "total dropped: 0" <<<"$health"; then
+	echo "failover-soak: FAIL — frames were dropped on the promoted standby" >&2
+	fail=1
+fi
+if ! grep -q "ingest: $tenants/$tenants tenants attached" <<<"$health"; then
+	echo "failover-soak: FAIL — expected $tenants attached tenants on the promoted standby" >&2
+	fail=1
+fi
+accepted=$(sed -n 's/.*accepted \([0-9]*\).*/\1/p' <<<"$health" | head -1)
+processed=$(sed -n 's/.*processed \([0-9]*\).*/\1/p' <<<"$health" | head -1)
+if [ -z "$accepted" ] || [ "$accepted" != "$processed" ]; then
+	echo "failover-soak: FAIL — accepted $accepted != processed $processed on the promoted standby" >&2
+	fail=1
+fi
+if [ "${accepted:-0}" -lt 1 ]; then
+	echo "failover-soak: FAIL — promoted standby accepted no frames" >&2
+	fail=1
+fi
+
+if ! grep -q "promoted to primary at generation" "$sbylog"; then
+	echo "failover-soak: FAIL — standby log has no promotion record" >&2
+	fail=1
+fi
+for logf in "$prilog" "$sbylog"; do
+	if grep -iq "DATA RACE" "$logf"; then
+		echo "failover-soak: FAIL — race detected in $(basename "$logf"):" >&2
+		cat "$logf" >&2
+		fail=1
+	fi
+done
+
+# A kill -9'd persisting server must leave a state dir that still
+# passes `drifttool inspect -verify`: atomic full+delta saves never
+# leave a damaged generation behind. (-state-dir needs the self-feed
+# mode, so this runs a separate short-lived server.)
+echo "failover-soak: kill -9 a persisting self-feed server, then verify its state dir"
+"$bin/driftserve" -addr "localhost:$pri_http" -state-dir "$bin/state" \
+	-checkpoint-every 500ms -shards 2 -scale 0.02 -train 120 >"$bin/selfdrive.log" 2>&1 &
+sd_pid=$!
+for i in $(seq 1 120); do
+	if "$bin/drifttool" health "localhost:$pri_http" >/dev/null 2>&1; then
+		break
+	fi
+	if ! kill -0 "$sd_pid" 2>/dev/null; then
+		echo "failover-soak: FAIL — self-feed server died during startup:" >&2
+		cat "$bin/selfdrive.log" >&2
+		exit 1
+	fi
+	sleep 0.5
+done
+sleep 2 # a few checkpoint intervals, then die mid-whatever
+kill -9 "$sd_pid" 2>/dev/null || true
+wait "$sd_pid" 2>/dev/null || true
+if [ -z "$(ls -A "$bin/state" 2>/dev/null)" ]; then
+	echo "failover-soak: FAIL — persisting server wrote no checkpoints in its lifetime" >&2
+	fail=1
+elif ! "$bin/drifttool" -verify inspect "$bin/state"; then
+	echo "failover-soak: FAIL — killed server left a damaged checkpoint" >&2
+	fail=1
+fi
+
+kill "$sby_pid" 2>/dev/null || true
+wait "$sby_pid" 2>/dev/null || true
+sby_pid=
+
+if [ "$fail" -ne 0 ]; then
+	echo "failover-soak: standby log follows" >&2
+	cat "$sbylog" >&2
+	exit 1
+fi
+echo "failover-soak: ok — primary killed mid-stream, standby promoted, zero frames lost, state verified"
